@@ -1,0 +1,54 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints it
+(captured into bench_output.txt by the top-level run). Workload runs are
+memoized inside :mod:`repro.harness.experiment`, so the full 3-run set per
+workload executes once per pytest session regardless of how many figures
+consume it.
+"""
+
+import pytest
+
+from repro.harness.experiment import run_all
+from repro.workloads.registry import (
+    DATAPROC_WORKLOADS,
+    FUNCTION_WORKLOADS,
+    PLATFORM_WORKLOADS,
+)
+from repro.workloads.synth import generate_trace
+
+
+@pytest.fixture(scope="session")
+def function_results():
+    return run_all(FUNCTION_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def dataproc_results():
+    return run_all(DATAPROC_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def platform_results():
+    return run_all(PLATFORM_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def all_results(function_results, dataproc_results, platform_results):
+    return function_results + dataproc_results + platform_results
+
+
+@pytest.fixture(scope="session")
+def traces_by_language():
+    """Traces grouped the way §2.2 groups them."""
+    groups = {"python": [], "cpp": [], "go": []}
+    for spec in FUNCTION_WORKLOADS:
+        groups[spec.language].append(generate_trace(spec))
+    groups["dataproc"] = [generate_trace(s) for s in DATAPROC_WORKLOADS]
+    groups["platform"] = [generate_trace(s) for s in PLATFORM_WORKLOADS]
+    return groups
+
+
+def emit(text: str) -> None:
+    """Print a rendered artifact with spacing that survives -s capture."""
+    print("\n" + text + "\n")

@@ -1,0 +1,34 @@
+"""Ablations of DESIGN.md §5 — quantifying Memento's design choices.
+
+Not a paper figure; regenerates the evidence behind the paper's design
+decisions: eager refill hides HOT-miss latency, the bypass counter is a
+cheap win, and 256 objects per arena balances metadata against
+fragmentation.
+"""
+
+from repro.analysis.report import render_table
+from repro.harness.sweeps import ablation_study
+
+from conftest import emit
+
+
+def test_ablation_design_choices(benchmark):
+    result = benchmark.pedantic(
+        ablation_study, args=("html",), rounds=1, iterations=1
+    )
+    emit(
+        render_table(
+            ["configuration", "speedup over baseline"],
+            [[name, value] for name, value in result.items()],
+            title="Ablation — Memento design choices on dh",
+        )
+    )
+    full = result["full"]
+    assert full > 1.2
+    # Each simplification costs something (or at least never helps much).
+    assert result["no_bypass"] <= full + 0.005
+    assert result["no_eager_refill"] <= full + 0.001
+    # Arena size: 64-object arenas churn the page allocator harder;
+    # 1024-object arenas waste pages. 256 sits in between (paper §3.1).
+    assert result["small_arenas_64"] <= full + 0.01
+    assert result["large_arenas_1024"] <= full + 0.01

@@ -1,0 +1,49 @@
+"""Fig. 3 — allocation lifetime (malloc-free distance) distribution.
+
+Paper: bimodal — 71 % of allocations free within 16 same-class
+allocations, 27 % are long-lived (OS-reclaimed at exit). C++ is mostly
+short-lived, Python short-lived with a long-lived minority, Golang and
+the platform long-lived, data processing short-lived.
+"""
+
+from repro.analysis.characterize import (
+    LIFETIME_BIN_LABELS,
+    lifetime_distribution,
+)
+from repro.analysis.report import render_grouped
+
+from conftest import emit
+
+
+def test_fig03_lifetimes(benchmark, traces_by_language):
+    def compute():
+        return {
+            group: lifetime_distribution(traces)
+            for group, traces in traces_by_language.items()
+        }
+
+    distributions = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        render_grouped(
+            LIFETIME_BIN_LABELS,
+            {
+                group: [x * 100 for x in dist]
+                for group, dist in distributions.items()
+            },
+            title="Fig. 3 — Allocation lifetime distribution "
+            "(% of allocations; [257-Inf] includes never-freed)",
+            value_fmt=".1f",
+        )
+    )
+    # Shape assertions mirroring the paper's per-language reading.
+    assert distributions["cpp"][0] > 0.55, "C++ should be short-lived"
+    assert distributions["go"][16] > 0.55, "Go should be long-lived (no GC)"
+    assert distributions["platform"][16] > 0.5, "platform long-lived"
+    assert distributions["dataproc"][0] > 0.5, "data proc short-lived"
+    # Python: short-dominated with a visible long-lived mode (bimodal).
+    assert distributions["python"][0] > 0.25
+    assert distributions["python"][16] > 0.15
+    emit(
+        "  paper: 71% of allocations free within 16 same-class allocations;"
+        " 27% long-lived"
+    )

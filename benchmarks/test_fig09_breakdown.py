@@ -1,0 +1,71 @@
+"""Fig. 9 — performance gains breakdown (% of saved cycles).
+
+Paper (function average): obj-alloc 33 %, obj-free 32 %, page-mgmt 33 %,
+bypass 2 % (bypass reaching 17 % for bandwidth-sensitive functions).
+Data processing splits mostly between allocation and page management;
+platform operations are allocation-dominated.
+"""
+
+from repro.analysis.report import render_grouped
+
+from conftest import emit
+
+MECHANISMS = ("obj-alloc", "obj-free", "page-mgmt", "bypass")
+
+
+def average_breakdown(results):
+    breakdowns = [r.breakdown() for r in results]
+    return {
+        key: sum(b[key] for b in breakdowns) / len(breakdowns)
+        for key in MECHANISMS
+    }
+
+
+def test_fig09_breakdown(
+    benchmark, function_results, dataproc_results, platform_results
+):
+    def compute():
+        rows = {r.spec.name: r.breakdown() for r in function_results}
+        rows["func-avg"] = average_breakdown(function_results)
+        rows["data-avg"] = average_breakdown(dataproc_results)
+        rows["pltf-avg"] = average_breakdown(platform_results)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    labels = list(rows)
+    emit(
+        render_grouped(
+            labels,
+            {
+                key: [rows[label][key] * 100 for label in labels]
+                for key in MECHANISMS
+            },
+            title="Fig. 9 — Performance gains breakdown (% of saved cycles)",
+            value_fmt=".1f",
+        )
+    )
+    emit("  paper func-avg: obj-alloc 33 / obj-free 32 / page-mgmt 33 / bypass 2")
+
+    func_avg = rows["func-avg"]
+    # Shape: the three main mechanisms all contribute substantially;
+    # bypass is a small positive remainder.
+    assert 0.2 < func_avg["obj-alloc"] < 0.6
+    assert 0.1 < func_avg["obj-free"] < 0.45
+    assert 0.2 < func_avg["page-mgmt"] < 0.55
+    assert 0.0 <= func_avg["bypass"] < 0.1
+    # Go workloads get nothing from obj-free (batch-freed, §6.1).
+    go = [r for r in function_results if r.spec.language == "go"]
+    assert all(r.breakdown()["obj-free"] < 0.05 for r in go)
+    # Python workloads: most get a large share from page management
+    # (paper: >=40% for 7 of 9; our scaled-down heaps land slightly
+    # lower — see EXPERIMENTS.md).
+    python = [r for r in function_results if r.spec.language == "python"]
+    heavy_page = sum(
+        1 for r in python if r.breakdown()["page-mgmt"] >= 0.30
+    )
+    assert heavy_page >= 5, "most Python functions are page-mgmt heavy"
+    # ...except the small-working-set ones (aes, jl), where object
+    # management dominates (>=55% combined alloc+free, §6.1).
+    for name in ("aes", "jl"):
+        b = next(r for r in python if r.spec.name == name).breakdown()
+        assert b["obj-alloc"] + b["obj-free"] >= 0.5, name

@@ -1,0 +1,40 @@
+"""Fig. 13 — arena list operation frequency.
+
+Paper: fewer than 1 % of allocations and 0.6 % of frees perform
+available/full list surgery; relative to all memory accesses the list
+operations are negligible (<=0.01 %).
+"""
+
+from repro.analysis.report import render_grouped
+
+from conftest import emit
+
+
+def test_fig13_arena_list_ops(benchmark, all_results):
+    def compute():
+        return {
+            r.spec.name: (r.memento.list_ops_alloc, r.memento.list_ops_free)
+            for r in all_results
+        }
+
+    rates = benchmark.pedantic(compute, rounds=1, iterations=1)
+    labels = list(rates)
+    emit(
+        render_grouped(
+            labels,
+            {
+                "alloc-side %": [rates[l][0] * 100 for l in labels],
+                "free-side %": [rates[l][1] * 100 for l in labels],
+            },
+            title="Fig. 13 — Arena list operations "
+            "(% of obj-alloc / obj-free that touch a list)",
+            value_fmt=".3f",
+        )
+    )
+    emit("  paper: <1% of allocs, <0.6% of frees")
+
+    assert all(r.memento.list_ops_alloc < 0.01 for r in all_results)
+    assert all(r.memento.list_ops_free < 0.015 for r in all_results)
+    func = [r for r in all_results if r.spec.category == "function"]
+    free_avg = sum(r.memento.list_ops_free for r in func) / len(func)
+    assert free_avg < 0.008

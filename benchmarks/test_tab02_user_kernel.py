@@ -1,0 +1,66 @@
+"""Table 2 — memory-management cycles: userspace vs kernel split.
+
+Paper: Python 48/52, C++ 96/4, Golang 56/44, FaaS platform 59/41, data
+processing 38/62.
+
+Known divergence (see EXPERIMENTS.md): our data-processing kernel share
+is underestimated because the behavioral slab model reuses still-backed
+runs more than real decay purging allows; the qualitative split (C++
+functions user-dominated, Python/Go with a large kernel component) holds.
+"""
+
+from repro.analysis.report import render_table
+
+from conftest import emit
+
+PAPER = {
+    "python": (0.48, 0.52),
+    "cpp": (0.96, 0.04),
+    "go": (0.56, 0.44),
+    "platform": (0.59, 0.41),
+    "dataproc": (0.38, 0.62),
+}
+
+
+def average_split(results):
+    splits = [r.user_kernel_split() for r in results]
+    user = sum(s["user"] for s in splits) / len(splits)
+    return user, 1 - user
+
+
+def test_tab02_user_kernel_split(
+    benchmark, function_results, dataproc_results, platform_results
+):
+    def compute():
+        by_language = {}
+        for language in ("python", "cpp", "go"):
+            group = [
+                r for r in function_results
+                if r.spec.language == language
+            ]
+            by_language[language] = average_split(group)
+        by_language["platform"] = average_split(platform_results)
+        by_language["dataproc"] = average_split(dataproc_results)
+        return by_language
+
+    measured = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for group, (user, kernel) in measured.items():
+        paper_user, paper_kernel = PAPER[group]
+        rows.append(
+            [group, f"{paper_user:.0%}/{paper_kernel:.0%}",
+             f"{user:.0%}/{kernel:.0%}"]
+        )
+    emit(
+        render_table(
+            ["group", "paper user/kernel", "measured user/kernel"],
+            rows,
+            title="Table 2 — Memory management cycles breakdown",
+        )
+    )
+    # Shape: C++ functions are by far the most user-dominated; Python and
+    # Go carry a large kernel component.
+    assert measured["cpp"][0] > 0.75
+    assert measured["python"][1] > 0.3
+    assert measured["go"][1] > 0.3
+    assert measured["cpp"][0] > measured["python"][0]

@@ -1,0 +1,45 @@
+"""Table 3 — simulation configuration and Memento hardware cost.
+
+Regenerates the platform table and checks the analytic HOT size against
+the paper's 3.4 KB CACTI figure; the published area/power numbers are
+carried as data.
+"""
+
+from repro.analysis.report import render_table
+from repro.sim.hwcost import AAC_COST, HOT_COST, hot_total_bytes
+from repro.sim.params import MachineParams
+
+from conftest import emit
+
+
+def test_tab03_configuration(benchmark):
+    params = benchmark.pedantic(MachineParams, rounds=1, iterations=1)
+    rows = [
+        ["CPU", f"{params.issue_width}-issue OOO, "
+                f"{params.freq_hz/1e9:.0f} GHz, {params.rob_entries}-entry "
+                f"ROB, {params.lsq_entries}-entry LSQ"],
+        ["TLB", f"L1 {params.tlb_l1.entries}-entry {params.tlb_l1.ways}-way;"
+                f" L2 {params.tlb_l2.entries}-entry {params.tlb_l2.ways}-way"],
+        ["L1d", f"{params.l1d.size_bytes//1024}KB, {params.l1d.ways}-way, "
+                f"{params.l1d.latency} cycle"],
+        ["L1i", f"{params.l1i.size_bytes//1024}KB, {params.l1i.ways}-way, "
+                f"{params.l1i.latency} cycle"],
+        ["HOT", f"{HOT_COST.size_bytes/1024:.1f}KB, direct-mapped, "
+                f"{HOT_COST.latency_cycles} cycle, {HOT_COST.power_mw}mW, "
+                f"{HOT_COST.area_mm2}mm2"],
+        ["L2", f"{params.l2.size_bytes//1024}KB, {params.l2.ways}-way, "
+               f"{params.l2.latency} cycle"],
+        ["LLC", f"{params.llc.size_bytes//1024//1024}MB slice, "
+                f"{params.llc.ways}-way, {params.llc.latency} cycle"],
+        ["AAC", f"{params.aac_entries}-entry, direct-mapped, "
+                f"{AAC_COST.latency_cycles} cycle, {AAC_COST.power_mw}mW, "
+                f"{AAC_COST.area_mm2}mm2"],
+        ["DRAM", f"{params.dram_gb}GB, DDR4 3200, {params.dram_banks} banks"],
+    ]
+    emit(render_table(["component", "configuration"], rows,
+                      title="Table 3 — Simulation configuration"))
+    # The bit-level HOT layout must land on the published 3.4 KB.
+    assert abs(hot_total_bytes() - HOT_COST.size_bytes) / HOT_COST.size_bytes < 0.02
+    assert params.l1d.size_bytes == 32 * 1024
+    assert params.llc.size_bytes == 2 * 1024 * 1024
+    assert params.dram_gb == 64

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Explore Memento's design space: ablations and the iso-storage check.
+
+Quantifies the design decisions DESIGN.md §5 calls out — the bypass
+counter, eager arena refill, 256-object arenas — and re-runs the §6.1
+iso-storage experiment (give the HOT's SRAM to the L1D instead).
+
+Run:  python examples/design_space.py [workload-name]
+"""
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.harness.sweeps import ablation_study, iso_storage_study
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "html"
+
+    ablations = ablation_study(workload)
+    print(render_table(
+        ["configuration", "speedup over baseline"],
+        list(ablations.items()),
+        title=f"Ablations on {workload}",
+    ))
+    full = ablations["full"]
+    for name, value in ablations.items():
+        if name == "full":
+            continue
+        delta = (value - full) / full
+        print(f"  {name:18s}: {delta:+.2%} vs full design")
+
+    print()
+    iso = iso_storage_study(workload)
+    print(render_table(
+        ["configuration", f"speedup on {workload}"],
+        [
+            ["9-way L1D (same SRAM as HOT)", iso["iso_storage_speedup"]],
+            ["Memento", iso["memento_speedup"]],
+        ],
+        title="Iso-storage: the HOT's 3.4 KB is worth far more as an "
+        "allocator than as cache",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Run one serverless function end-to-end on both stacks (Fig. 8/9 view).
+
+Replays a paper workload (default: dynamic-html) through the baseline
+software stack and through Memento, then prints the speedup, the Fig. 9
+savings breakdown, DRAM traffic, memory usage, and the AWS pricing effect
+for that single function.
+
+Run:  python examples/serverless_function_study.py [workload-name]
+"""
+
+import sys
+
+from repro.analysis.pricing import PricingModel
+from repro.analysis.report import render_table
+from repro.harness.experiment import run_workload
+from repro.workloads.registry import get_workload
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "html"
+    spec = get_workload(name)
+    print(f"workload: {spec.name} ({spec.language}, "
+          f"{spec.num_allocs:,} allocations)")
+
+    result = run_workload(spec)
+    base, mem = result.baseline, result.memento
+
+    print(render_table(
+        ["metric", "baseline", "memento"],
+        [
+            ["total cycles", f"{base.total_cycles:,.0f}",
+             f"{mem.total_cycles:,.0f}"],
+            ["mm cycles", f"{base.mm_cycles:,.0f}",
+             f"{mem.mm_cycles:,.0f}"],
+            ["DRAM bytes", f"{base.dram_bytes:,.0f}",
+             f"{mem.dram_bytes:,.0f}"],
+            ["user pages (aggregate)", base.user_pages_aggregate,
+             mem.user_pages_aggregate],
+            ["kernel pages (aggregate)", base.kernel_pages_aggregate,
+             mem.kernel_pages_aggregate],
+        ],
+        title=f"{spec.name}: baseline vs Memento",
+    ))
+
+    print(f"\nspeedup                 : {result.speedup:.3f}x")
+    print(f"mm share of runtime     : {result.mm_fraction_of_runtime:.1%}")
+    split = result.user_kernel_split()
+    print(f"baseline mm user/kernel : {split['user']:.0%}/"
+          f"{split['kernel']:.0%}")
+    print(f"bandwidth reduction     : {result.bandwidth_reduction:.1%}")
+    print("savings breakdown       : "
+          + ", ".join(f"{k} {v:.0%}" for k, v in result.breakdown().items()))
+    print(f"HOT hit rates           : alloc "
+          f"{mem.hot_alloc_hit_rate:.3f}, free {mem.hot_free_hit_rate:.3f}")
+
+    pricing = PricingModel()
+    print(f"runtime pricing         : "
+          f"{pricing.normalized_runtime_pricing(result):.3f}x baseline")
+    print(f"end-to-end pricing      : "
+          f"{pricing.normalized_invocation_pricing(result):.3f}x baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Run one calibration iteration and bake suggested compute_per_alloc
+values into the workload spec files."""
+import pathlib
+import re
+import sys
+
+from repro.harness.experiment import run_workload
+from repro.workloads.registry import all_workloads
+
+TARGETS = {
+    "html": 1.28, "ir": 1.10, "bfs": 1.15, "dna": 1.12, "aes": 1.20,
+    "fr": 1.10, "jl": 1.13, "jd": 1.12, "mk": 1.15,
+    "US": 1.15, "UM": 1.17, "CM": 1.18, "MI": 1.14,
+    "html-go": 1.18, "bfs-go": 1.14, "aes-go": 1.12,
+    "Redis": 1.11, "Memcached": 1.065, "Silo": 1.075, "SQLite3": 1.05,
+    "up": 1.05, "deploy": 1.07, "invoke": 1.04,
+}
+
+FILES = [
+    pathlib.Path("src/repro/workloads/functions.py"),
+    pathlib.Path("src/repro/workloads/dataproc.py"),
+    pathlib.Path("src/repro/workloads/platform_ops.py"),
+]
+
+suggestions = {}
+for spec in all_workloads():
+    r = run_workload(spec)
+    target = TARGETS[spec.name]
+    delta = r.baseline.total_cycles - r.memento.total_cycles
+    tb_star = delta * target / (target - 1)
+    adj = (tb_star - r.baseline.total_cycles) / spec.num_allocs
+    suggestions[spec.name] = max(40, int(spec.compute_per_alloc + adj))
+    print(f"{spec.name:10s} sp={r.speedup:.3f} -> compute {spec.compute_per_alloc} => {suggestions[spec.name]}")
+
+if "--write" in sys.argv:
+    for path in FILES:
+        text = path.read_text()
+        # Each spec block: name="X" ... compute_per_alloc=N
+        def fix(match):
+            block = match.group(0)
+            name = re.search(r'name="([^"]+)"', block).group(1)
+            if name in suggestions:
+                block = re.sub(r"compute_per_alloc=\d+",
+                               f"compute_per_alloc={suggestions[name]}", block)
+            return block
+        text = re.sub(r'WorkloadSpec\((?:[^()]|\([^()]*\))*\)', fix, text)
+        path.write_text(text)
+    print("written")

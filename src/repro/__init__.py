@@ -1,0 +1,48 @@
+"""Memento reproduction: hardware memory management for serverless.
+
+A behavioral, pure-Python reproduction of *Memento: Architectural Support
+for Ephemeral Memory Management in Serverless Environments* (MICRO '23).
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — the machine: caches, TLBs, DRAM, cycle cost model.
+* :mod:`repro.kernel` — the OS: buddy allocator, page tables, mmap/munmap,
+  page faults, processes.
+* :mod:`repro.allocators` — software allocators (pymalloc, jemalloc, Go,
+  glibc-large, idealized Mallacc): the baseline stack.
+* :mod:`repro.core` — Memento itself: arenas, the Hardware Object Table,
+  the hardware page allocator, main-memory bypass, and the obj-alloc /
+  obj-free runtime integration.
+* :mod:`repro.workloads` — the paper's 23 workloads as deterministic
+  statistical traces.
+* :mod:`repro.harness` / :mod:`repro.analysis` — baseline-vs-Memento
+  experiments and the evaluation-section metrics.
+
+Quick start::
+
+    from repro import run_workload, get_workload
+    result = run_workload(get_workload("html"))
+    print(result.speedup, result.breakdown())
+"""
+
+from repro.core.config import MementoConfig
+from repro.core.runtime import MementoRuntime
+from repro.harness.experiment import run_all, run_workload
+from repro.harness.system import SimulatedSystem
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.workloads.registry import all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "Machine",
+    "MementoConfig",
+    "MementoRuntime",
+    "SimulatedSystem",
+    "all_workloads",
+    "get_workload",
+    "run_all",
+    "run_workload",
+]

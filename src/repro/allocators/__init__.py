@@ -1,0 +1,40 @@
+"""Userspace software allocators (the baseline stack).
+
+Behavioral models of the allocators the paper instruments (§5): CPython's
+pymalloc, jemalloc for C/C++, the Go runtime allocator with mark-sweep GC,
+and the glibc-style large-allocation path. ``mallacc`` models the idealized
+Mallacc comparison point of §6.7.
+"""
+
+from repro.allocators.base import (
+    SMALL_THRESHOLD,
+    AllocationError,
+    DoubleFreeError,
+    SoftwareAllocator,
+    align8,
+)
+from repro.allocators.glibc_large import LargeAllocator
+from repro.allocators.goalloc import GoAllocator
+from repro.allocators.jemalloc import JemallocAllocator
+from repro.allocators.mallacc import MallaccAllocator
+from repro.allocators.pymalloc import PymallocAllocator
+
+ALLOCATOR_BY_LANGUAGE = {
+    "python": PymallocAllocator,
+    "cpp": JemallocAllocator,
+    "go": GoAllocator,
+}
+
+__all__ = [
+    "ALLOCATOR_BY_LANGUAGE",
+    "AllocationError",
+    "DoubleFreeError",
+    "GoAllocator",
+    "JemallocAllocator",
+    "LargeAllocator",
+    "MallaccAllocator",
+    "PymallocAllocator",
+    "SMALL_THRESHOLD",
+    "SoftwareAllocator",
+    "align8",
+]

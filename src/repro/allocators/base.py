@@ -1,0 +1,185 @@
+"""Shared allocator machinery: size classes, records, the base interface.
+
+Every software allocator operates on a :class:`~repro.kernel.process.Process`
+through the kernel's syscalls, and charges userspace cycles against the
+running core under the ``user_alloc`` / ``user_free`` categories that feed
+the Fig. 9 breakdown.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.sim.params import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+    from repro.sim.machine import Core
+
+#: Allocations at or below this go through the small-object machinery;
+#: larger requests fall through to the large path (paper §4).
+SMALL_THRESHOLD = 512
+
+#: Callback the harness injects so allocator metadata writes become real
+#: memory accesses: ``touch(core, vaddr, write, category)``.
+TouchFn = Callable[["Core", int, bool, str], None]
+
+
+class AllocationError(MemoryError):
+    """The allocator could not satisfy a request."""
+
+
+class DoubleFreeError(ValueError):
+    """An address was freed twice, or was never allocated."""
+
+
+def align8(size: int) -> int:
+    """Round a request up to the nearest 8-byte boundary (§2.1 step 1)."""
+    if size <= 0:
+        raise ValueError("allocation size must be positive")
+    return (size + 7) & ~7
+
+
+def size_class_index(size: int) -> int:
+    """0-based size-class index for a small request (64 classes of 8 B)."""
+    aligned = align8(size)
+    if aligned > SMALL_THRESHOLD:
+        raise ValueError(f"{size} exceeds the small-object threshold")
+    return aligned // 8 - 1
+
+
+@dataclass
+class Allocation:
+    """Bookkeeping for one live allocation."""
+
+    addr: int
+    size: int
+    size_class: int  # -1 for large allocations
+
+
+class SoftwareAllocator(abc.ABC):
+    """Base class for the userspace allocator models.
+
+    Subclasses implement ``_malloc_small`` / ``_free_small``; the base class
+    handles request routing (small vs. large), the live-allocation registry,
+    and double-free detection.
+    """
+
+    #: Language runtime whose cost table applies (key into CostModel.user).
+    language: str = "cpp"
+    name: str = "base"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        touch: Optional[TouchFn] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.machine = kernel.machine
+        self.costs = kernel.machine.costs.user(self.language)
+        #: MAP_POPULATE sensitivity (§6.6): force eager physical backing
+        #: on every mmap this allocator issues.
+        self.mmap_populate = False
+        #: Warm-started container: heap pages this allocator maps were
+        #: already faulted by earlier invocations, so backing them is
+        #: unmetered (C++ functions against a retained jemalloc heap).
+        self.warm = False
+        self.touch = touch or (lambda core, addr, write, cat: None)
+        self.stats = kernel.machine.stats.scoped(f"alloc.{self.name}")
+        self.live: Dict[int, Allocation] = {}
+        from repro.allocators.glibc_large import LargeAllocator
+
+        self.large = (
+            self
+            if isinstance(self, LargeAllocator)
+            else LargeAllocator(kernel, process, touch)
+        )
+
+    # -- public interface ---------------------------------------------------
+
+    def malloc(self, core: "Core", size: int) -> int:
+        """Allocate ``size`` bytes; returns the (virtual) address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if align8(size) > SMALL_THRESHOLD and self.large is not self:
+            addr = self.large.malloc(core, size)
+            self.live[addr] = Allocation(addr, size, -1)
+            return addr
+        allocation = self._malloc_small(core, size)
+        self.live[allocation.addr] = allocation
+        self.stats.add("allocs")
+        return allocation.addr
+
+    def free(self, core: "Core", addr: int) -> None:
+        """Free a previously allocated address."""
+        allocation = self.live.pop(addr, None)
+        if allocation is None:
+            raise DoubleFreeError(f"{addr:#x} is not a live allocation")
+        if allocation.size_class < 0 and self.large is not self:
+            self.large.free(core, addr)
+            return
+        self._free_small(core, allocation)
+        self.stats.add("frees")
+
+    def teardown(self, core: "Core") -> None:
+        """Release everything at process exit (batch free by the OS).
+
+        The default drops the registry; address-space teardown itself is
+        performed by :meth:`Kernel.exit_process`.
+        """
+        self.live.clear()
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(a.size for a in self.live.values())
+
+    # -- subclass hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _malloc_small(self, core: "Core", size: int) -> Allocation:
+        """Allocate a small object; charge cycles; return the record."""
+
+    @abc.abstractmethod
+    def _free_small(self, core: "Core", allocation: Allocation) -> None:
+        """Free a small object; charge cycles."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _mmap(self, core: "Core", length: int, populate: bool = False) -> int:
+        """Request memory from the kernel (§2.1 step 4)."""
+        self.stats.add("mmaps")
+        base = self.kernel.syscalls.mmap(
+            core, self.process, length, populate or self.mmap_populate
+        )
+        if self.warm:
+            for page in range(pages_for(length)):
+                self.kernel.prefault_warm(self.process, base + page * PAGE_SIZE)
+        return base
+
+    def _munmap(self, core: "Core", addr: int) -> None:
+        self.stats.add("munmaps")
+        self.kernel.syscalls.munmap(core, self.process, addr)
+
+    def _charge_alloc(self, core: "Core", cycles: int, fast: bool) -> None:
+        core.charge(cycles, "user_alloc")
+        self.stats.add("alloc_fast" if fast else "alloc_slow")
+        if not fast:
+            # Slow paths run cold allocator code and walk metadata that
+            # rarely stays cached across their long reuse distance.
+            self.machine.dram.record_bulk_bytes(384, write=False)
+
+    def _charge_free(self, core: "Core", cycles: int, fast: bool) -> None:
+        core.charge(cycles, "user_free")
+        self.stats.add("free_fast" if fast else "free_slow")
+        if not fast:
+            self.machine.dram.record_bulk_bytes(256, write=False)
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of whole pages covering ``nbytes``."""
+    return -(-nbytes // PAGE_SIZE)

@@ -1,0 +1,50 @@
+"""Idealized Mallacc baseline (§6.7).
+
+Mallacc [Kanev et al., ASPLOS'17] adds a small in-core malloc cache that
+accelerates TCMalloc's *userspace* fast paths: size-class lookup, free-list
+pop/push. The paper compares Memento against an idealized Mallacc whose
+cache has zero latency and always hits — i.e. userspace fast paths become
+free, while slow paths and every kernel cost remain.
+
+Mallacc is hardwired to C++ allocators, so the model extends the jemalloc
+stack and is only meaningful for C++ workloads (DeathStarBench).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.allocators.jemalloc import JemallocAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Core
+
+
+#: Fraction of the fast path the malloc cache covers: the size-class
+#: lookup and free-list head pop/push. The surrounding work (function
+#: prologue/epilogue, slab accounting, statistics) still executes even
+#: when the cache always hits at zero latency — Kanev et al. report
+#: malloc latency reductions of roughly half, not elimination.
+ACCELERATED_FRACTION = 0.55
+
+
+class MallaccAllocator(JemallocAllocator):
+    """jemalloc with an idealized always-hit, zero-latency malloc cache."""
+
+    name = "mallacc"
+
+    def _charge_alloc(self, core: "Core", cycles: int, fast: bool) -> None:
+        if fast:
+            residual = int(cycles * (1 - ACCELERATED_FRACTION))
+            self.stats.add("alloc_fast_accelerated")
+            super()._charge_alloc(core, residual, fast)
+            return
+        super()._charge_alloc(core, cycles, fast)
+
+    def _charge_free(self, core: "Core", cycles: int, fast: bool) -> None:
+        if fast:
+            residual = int(cycles * (1 - ACCELERATED_FRACTION))
+            self.stats.add("free_fast_accelerated")
+            super()._charge_free(core, residual, fast)
+            return
+        super()._charge_free(core, cycles, fast)

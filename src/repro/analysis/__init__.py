@@ -1,0 +1,20 @@
+"""Analysis: workload characterization, pricing, and report rendering."""
+
+from repro.analysis.characterize import (
+    joint_size_lifetime,
+    lifetime_distribution,
+    size_distribution,
+)
+from repro.analysis.energy import EnergyModel
+from repro.analysis.pricing import PricingModel
+from repro.analysis.report import render_series, render_table
+
+__all__ = [
+    "EnergyModel",
+    "PricingModel",
+    "joint_size_lifetime",
+    "lifetime_distribution",
+    "render_series",
+    "render_table",
+    "size_distribution",
+]

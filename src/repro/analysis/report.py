@@ -1,0 +1,99 @@
+"""ASCII rendering for the reproduced tables and figures.
+
+Every benchmark prints its table/series through these helpers so the
+regenerated evaluation artifacts have one consistent, diffable format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render a fixed-width table."""
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted_rows.append(
+            [
+                f"{cell:{floatfmt}}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(
+            len(str(headers[col])),
+            *(len(row[col]) for row in formatted_rows),
+        )
+        if formatted_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    bar_width: int = 40,
+    value_fmt: str = ".3f",
+) -> str:
+    """Render one labelled series as a horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(abs(value) / peak * bar_width)))
+        lines.append(
+            f"{label.ljust(label_width)}  {value:{value_fmt}}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_grouped(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    value_fmt: str = ".3f",
+) -> str:
+    """Render several aligned series as a table (Fig. 9/11-style bars)."""
+    headers = ["workload"] + list(series)
+    rows = []
+    for index, label in enumerate(labels):
+        rows.append(
+            [label] + [float(series[name][index]) for name in series]
+        )
+    return render_table(headers, rows, title=title, floatfmt=value_fmt)
+
+
+def paper_vs_measured(
+    rows: Iterable[Sequence[object]],
+    title: str,
+) -> str:
+    """Standard three-column comparison used by EXPERIMENTS.md."""
+    return render_table(
+        ["metric", "paper", "measured"], rows, title=title
+    )

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the 23 workloads with their language/category/parameters.
+* ``run WORKLOAD [...]`` — baseline-vs-Memento for named workloads.
+* ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
+* ``sweep NAME`` — one sensitivity study (populate, multiprocess,
+  tuning, fragmentation, coldstart, iso-storage, mallacc, ablation).
+* ``energy WORKLOAD`` — the energy comparison for one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.characterize import (
+    LIFETIME_BIN_LABELS,
+    SIZE_BIN_LABELS,
+    joint_size_lifetime,
+    lifetime_distribution,
+    size_distribution,
+)
+from repro.analysis.energy import EnergyModel
+from repro.analysis.pricing import PricingModel
+from repro.analysis.report import render_grouped, render_table
+from repro.harness.experiment import run_workload
+from repro.harness import sweeps
+from repro.workloads.registry import all_workloads, get_workload
+from repro.workloads.synth import generate_trace
+
+SWEEPS = {
+    "populate": sweeps.populate_study,
+    "multiprocess": sweeps.multiprocess_study,
+    "tuning": sweeps.tuning_study,
+    "fragmentation": sweeps.fragmentation_study,
+    "coldstart": sweeps.coldstart_study,
+    "iso-storage": sweeps.iso_storage_study,
+    "mallacc": sweeps.mallacc_study,
+    "ablation": sweeps.ablation_study,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memento (MICRO '23) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper's workloads")
+
+    run_parser = sub.add_parser("run", help="run workloads on both stacks")
+    run_parser.add_argument("workloads", nargs="+", metavar="WORKLOAD")
+    run_parser.add_argument(
+        "--cold-start", action="store_true",
+        help="include container setup (§6.6)",
+    )
+
+    sub.add_parser(
+        "characterize", help="regenerate the §2.2 allocation study"
+    )
+
+    sweep_parser = sub.add_parser("sweep", help="run a sensitivity study")
+    sweep_parser.add_argument("name", choices=sorted(SWEEPS))
+
+    energy_parser = sub.add_parser(
+        "energy", help="energy comparison for one workload"
+    )
+    energy_parser.add_argument("workload", metavar="WORKLOAD")
+    return parser
+
+
+def cmd_list() -> int:
+    rows = [
+        [
+            spec.name,
+            spec.language,
+            spec.category,
+            spec.num_allocs,
+            spec.compute_per_alloc,
+        ]
+        for spec in all_workloads()
+    ]
+    print(render_table(
+        ["name", "language", "category", "allocs", "compute/alloc"],
+        rows,
+        title="Workloads (paper §5)",
+    ))
+    return 0
+
+
+def cmd_run(names: List[str], cold_start: bool) -> int:
+    pricing = PricingModel()
+    rows = []
+    for name in names:
+        result = run_workload(get_workload(name), cold_start=cold_start)
+        split = result.user_kernel_split()
+        rows.append([
+            name,
+            result.speedup,
+            f"{split['user']:.0%}/{split['kernel']:.0%}",
+            result.bandwidth_reduction,
+            result.memento.hot_alloc_hit_rate,
+            pricing.normalized_runtime_pricing(result),
+        ])
+    print(render_table(
+        ["workload", "speedup", "mm user/kernel", "bw reduction",
+         "HOT alloc hit", "pricing"],
+        rows,
+        title=("Cold-started" if cold_start else "Warm") +
+        " baseline vs Memento",
+    ))
+    return 0
+
+
+def cmd_characterize() -> int:
+    traces = [generate_trace(spec) for spec in all_workloads()]
+    sizes = size_distribution(traces)
+    lifetimes = lifetime_distribution(traces)
+    print(render_grouped(
+        SIZE_BIN_LABELS,
+        {"% of allocations": [s * 100 for s in sizes]},
+        title="Fig. 2 — allocation sizes (all workloads)",
+        value_fmt=".1f",
+    ))
+    print()
+    print(render_grouped(
+        LIFETIME_BIN_LABELS,
+        {"% of allocations": [x * 100 for x in lifetimes]},
+        title="Fig. 3 — lifetimes (all workloads)",
+        value_fmt=".1f",
+    ))
+    print()
+    cells = joint_size_lifetime(traces)
+    print(render_table(
+        ["cell", "fraction"],
+        sorted(cells.items()),
+        title="Table 1 — joint size x lifetime",
+    ))
+    return 0
+
+
+def cmd_sweep(name: str) -> int:
+    result = SWEEPS[name]()
+    if isinstance(result, dict) and all(
+        isinstance(v, dict) for v in result.values()
+    ):
+        headers = ["key"] + sorted(
+            {k for v in result.values() for k in v}
+        )
+        rows = [
+            [key] + [value.get(col, "") for col in headers[1:]]
+            for key, value in result.items()
+        ]
+        print(render_table(headers, rows, title=f"sweep: {name}"))
+    else:
+        print(render_table(
+            ["metric", "value"], sorted(result.items()),
+            title=f"sweep: {name}",
+        ))
+    return 0
+
+
+def cmd_energy(name: str) -> int:
+    model = EnergyModel()
+    report = model.report(run_workload(get_workload(name)))
+    print(render_table(
+        ["metric", "value"],
+        [
+            [k, f"{v:.3e}" if k.endswith("_j") else f"{v:.4f}"]
+            for k, v in report.items()
+        ],
+        title=f"Memory-management energy: {name}",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.workloads, args.cold_start)
+    if args.command == "characterize":
+        return cmd_characterize()
+    if args.command == "sweep":
+        return cmd_sweep(args.name)
+    if args.command == "energy":
+        return cmd_energy(args.workload)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Memento: the paper's hardware memory-management design (§3).
+
+* :mod:`repro.core.region` — the reserved per-process virtual region
+  (MRS/MRE) carved evenly into 64 size-class sub-regions.
+* :mod:`repro.core.arena` — arena headers (VA, bitmap, bypass counter,
+  prev/next) and the arena body layout of Fig. 5.
+* :mod:`repro.core.hot` — the per-core Hardware Object Table.
+* :mod:`repro.core.object_allocator` — the hardware object allocator state
+  machines of Fig. 6.
+* :mod:`repro.core.page_allocator` — the memory-controller page allocator:
+  bump pointers + AAC, the physical page pool, and the hardware-managed
+  Memento page table.
+* :mod:`repro.core.bypass` — the main-memory bypass engine (§3.3).
+* :mod:`repro.core.runtime` — obj-alloc/obj-free ISA semantics and the
+  malloc/free routing layer that integrates with language runtimes (§4).
+"""
+
+from repro.core.arena import ArenaHeader, arena_span_bytes
+from repro.core.config import MementoConfig
+from repro.core.errors import (
+    MementoDoubleFreeError,
+    MementoError,
+    RegionExhaustedError,
+)
+from repro.core.ephemeral_gc import EphemeralAwareGc, EphemeralGcConfig
+from repro.core.hot import HardwareObjectTable
+from repro.core.multithread import MultiThreadMementoRuntime
+from repro.core.object_allocator import HardwareObjectAllocator
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.core.region import MementoRegion
+from repro.core.runtime import MementoProcessContext, MementoRuntime
+
+__all__ = [
+    "ArenaHeader",
+    "EphemeralAwareGc",
+    "EphemeralGcConfig",
+    "HardwareObjectAllocator",
+    "HardwareObjectTable",
+    "HardwarePageAllocator",
+    "MementoConfig",
+    "MementoDoubleFreeError",
+    "MementoError",
+    "MementoProcessContext",
+    "MementoRegion",
+    "MementoRuntime",
+    "MultiThreadMementoRuntime",
+    "RegionExhaustedError",
+    "arena_span_bytes",
+]

@@ -1,0 +1,72 @@
+"""Main-memory bypass (§3.3).
+
+Newly allocated objects carry no defined contents, so their first-touch
+fetches need not read DRAM: Memento instantiates the lines in the LLC
+(zeroed) instead. Tracking which lines are "new" uses the per-arena
+*bypass counter*: lines of the arena are touched roughly sequentially as
+the bitmap populates, so any line with index >= the counter has provably
+never been accessed. The counter is 11 bits — enough for the largest
+arena's line count — and is decremented on frees that release the
+highest-touched line, letting reused slots bypass again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.arena import ArenaHeader
+from repro.core.config import MementoConfig
+from repro.sim.cache import AccessResult
+from repro.sim.params import LINE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Core
+
+#: Saturation value of the 11-bit counter.
+COUNTER_MAX = (1 << 11) - 1
+
+
+class BypassEngine:
+    """Decides, per line access, whether DRAM can be bypassed."""
+
+    def __init__(self, config: MementoConfig, stats) -> None:
+        self.config = config
+        self.enabled = config.bypass_enabled
+        self.stats = stats
+
+    def access(
+        self,
+        core: "Core",
+        header: ArenaHeader,
+        addr: int,
+        write: bool,
+        cache_addr: Optional[int] = None,
+    ) -> AccessResult:
+        """Route one object-line access through the hierarchy.
+
+        Lines above the arena's bypass counter are instantiated in the LLC
+        (no DRAM fetch); everything else is a normal access. The counter
+        advances to cover the touched line either way. ``cache_addr`` is
+        the physical address used for the hierarchy (defaults to the
+        virtual address for callers without a translation in hand); the
+        counter math always uses the virtual ``addr``.
+        """
+        line_index = header.body_line_index(addr)
+        bypassable = self.enabled and line_index >= header.bypass_counter
+        if line_index >= header.bypass_counter:
+            header.bypass_counter = min(line_index + 1, COUNTER_MAX)
+        target = cache_addr if cache_addr is not None else addr
+        if bypassable:
+            self.stats.add("bypassed_lines")
+            return core.caches.instantiate(target, write=write)
+        self.stats.add("regular_lines")
+        return core.caches.access(target, write=write)
+
+    def on_free(self, header: ArenaHeader, addr: int, size: int) -> None:
+        """Shrink the counter when the top-most touched line frees up."""
+        if not self.enabled:
+            return
+        last_line = (addr + size - 1) // LINE_SIZE - header.va // LINE_SIZE
+        if last_line + 1 == header.bypass_counter:
+            header.bypass_counter = header.body_line_index(addr)
+            self.stats.add("counter_decrements")

@@ -1,0 +1,26 @@
+"""Typed Memento exceptions.
+
+Hardware-detected error conditions are raised to software as exceptions
+(§3.4 discusses double frees being "handled graciously by raising an
+exception to software").
+"""
+
+
+class MementoError(Exception):
+    """Base class for Memento hardware errors."""
+
+
+class MementoDoubleFreeError(MementoError):
+    """obj-free of an address whose allocation bit is already clear."""
+
+
+class RegionExhaustedError(MementoError):
+    """A size class ran out of reserved virtual address space."""
+
+
+class PoolExhaustedError(MementoError):
+    """The physical page pool could not be replenished by the OS."""
+
+
+class NotAMementoAddressError(MementoError):
+    """obj-free of an address outside the process's Memento region."""

@@ -1,0 +1,34 @@
+"""ISA extension semantics: obj-alloc and obj-free (§3.1).
+
+The instructions are thin: obj-alloc carries the requested size and
+returns a virtual address; obj-free carries the address. All the work
+happens in the hardware object allocator; this module gives the pair a
+first-class, documented surface (and is where an instruction-level
+simulator would hook decode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.object_allocator import HardwareObjectAllocator
+
+
+@dataclass(frozen=True)
+class MementoIsa:
+    """The two-instruction interface exposed to language runtimes."""
+
+    allocator: "HardwareObjectAllocator"
+
+    def obj_alloc(self, size: int) -> int:
+        """``obj-alloc size`` → virtual address of a block of ≥ ``size``
+        bytes (size must be within the small-object threshold)."""
+        return self.allocator.obj_alloc(size)
+
+    def obj_free(self, addr: int) -> None:
+        """``obj-free addr`` → deallocate; raises
+        :class:`~repro.core.errors.MementoDoubleFreeError` to software on
+        a double free (§3.4)."""
+        self.allocator.obj_free(addr)

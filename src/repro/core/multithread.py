@@ -1,0 +1,237 @@
+"""Multi-threaded Memento (§3.4).
+
+Serverless functions are typically single-threaded, but Memento supports
+multi-threaded applications:
+
+* **Per-thread arenas.** Each thread allocates from arenas whose virtual
+  range lives in its own window of every size-class sub-region, so the
+  allocation path is race-free by construction — no locks, no atomics.
+* **Cross-thread frees.** An obj-free whose operand lies outside the
+  executing thread's windows is recognized by the hardware (pure address
+  arithmetic) and handled one of two ways:
+
+  - ``"software"`` — batched: the free is appended to a thread-local
+    buffer; when the buffer fills (or at a flush point), a software
+    handler acquires the owner's allocator lock and performs the batch,
+    amortizing the handler invocation.
+  - ``"hardware"`` — the local HOT issues a BusRdX for the owner arena's
+    header line, acquires exclusive ownership through the regular cache
+    coherence protocol, and performs the read-modify-write of the bitmap
+    atomically. Write serialization comes from coherence, not locks.
+
+Both paths end in the owner allocator's bitmap, so double frees and
+address validation behave exactly as in the single-threaded design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.allocators.base import align8
+from repro.core.bypass import BypassEngine
+from repro.core.config import MementoConfig
+from repro.core.errors import MementoDoubleFreeError, NotAMementoAddressError
+from repro.core.object_allocator import HardwareObjectAllocator
+from repro.core.region import MementoRegion
+from repro.core.runtime import REGION_BASE
+from repro.sim.params import LINE_SHIFT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.page_allocator import HardwarePageAllocator
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+    from repro.sim.machine import Core
+
+#: Cycle cost of invoking the software batch-free handler (entry, lock
+#: acquisition, loop setup) — amortized over the batch (§3.4).
+SOFTWARE_HANDLER_INVOKE = 450
+#: Per-object cost inside the software handler (locked free-list update).
+SOFTWARE_HANDLER_PER_OBJECT = 40
+#: Extra latency of a BusRdX that must pull the header line out of
+#: another core's private cache (coherence round trip).
+BUSRDX_REMOTE_PENALTY = 60
+
+
+@dataclass
+class ThreadState:
+    """One thread's allocator plus its deferred cross-thread frees."""
+
+    thread_id: int
+    allocator: HardwareObjectAllocator
+    nonlocal_buffer: List[int] = field(default_factory=list)
+
+
+class MultiThreadMementoRuntime:
+    """A process-wide Memento runtime for ``num_threads`` threads.
+
+    Each thread is pinned to a core (round-robin over the machine's
+    cores) and owns a :class:`HardwareObjectAllocator` over its own VA
+    windows. ``cross_thread_mode`` selects the §3.4 deallocation strategy
+    for frees of another thread's objects.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        page_allocator: "HardwarePageAllocator",
+        num_threads: int,
+        config: Optional[MementoConfig] = None,
+        cross_thread_mode: str = "hardware",
+        software_batch_size: int = 32,
+    ) -> None:
+        if cross_thread_mode not in ("hardware", "software"):
+            raise ValueError(
+                "cross_thread_mode must be 'hardware' or 'software'"
+            )
+        self.kernel = kernel
+        self.process = process
+        self.config = config or MementoConfig()
+        self.page_allocator = page_allocator
+        self.cross_thread_mode = cross_thread_mode
+        self.software_batch_size = software_batch_size
+        self.machine = kernel.machine
+        self.stats = self.machine.stats.scoped("memento.mt")
+
+        base = REGION_BASE + process.pid * self.config.region_bytes
+        self.region = MementoRegion.reserve(base, self.config)
+        page_allocator.attach(process, self.region, threads=num_threads)
+        self.bypass = BypassEngine(
+            self.config, self.machine.stats.scoped("memento.bypass")
+        )
+
+        cores = self.machine.cores
+        self.threads: List[ThreadState] = [
+            ThreadState(
+                thread_id=tid,
+                allocator=HardwareObjectAllocator(
+                    cores[tid % len(cores)],
+                    process,
+                    self.region,
+                    page_allocator,
+                    self.config,
+                    thread_id=tid,
+                ),
+            )
+            for tid in range(num_threads)
+        ]
+        #: Shared ownership map: arena base VA -> owning thread id.
+        self._arena_owner: Dict[int, int] = {}
+
+    # -- allocation ----------------------------------------------------------
+
+    def malloc(self, thread_id: int, size: int) -> int:
+        """Allocate from ``thread_id``'s own arenas (race-free, §3.4)."""
+        if align8(size) > self.config.small_threshold:
+            raise ValueError("multi-thread runtime serves small objects")
+        state = self.threads[thread_id]
+        addr = state.allocator.obj_alloc(size)
+        _cls, arena_base = self.region.arena_base_of(addr)
+        self._arena_owner.setdefault(arena_base, thread_id)
+        self.stats.add("allocs")
+        return addr
+
+    # -- free ------------------------------------------------------------------
+
+    def free(self, thread_id: int, addr: int) -> None:
+        """Free ``addr`` from ``thread_id``; detects non-local objects by
+        comparing the address against the thread's own VA windows."""
+        if not self.region.contains(addr):
+            raise NotAMementoAddressError(f"{addr:#x} outside the region")
+        owner = self._owner_of(addr)
+        state = self.threads[thread_id]
+        if owner == thread_id:
+            state.allocator.obj_free(addr)
+            self.stats.add("local_frees")
+            return
+        self.stats.add("cross_thread_frees")
+        if self.cross_thread_mode == "software":
+            state.nonlocal_buffer.append(addr)
+            if len(state.nonlocal_buffer) >= self.software_batch_size:
+                self.flush_nonlocal(thread_id)
+        else:
+            self._hardware_remote_free(state, owner, addr)
+
+    def _owner_of(self, addr: int) -> int:
+        size_class, arena_base = self.region.arena_base_of(addr)
+        page_state = self.page_allocator.state_of(self.process)
+        return page_state.owner_thread(size_class, arena_base)
+
+    def _hardware_remote_free(
+        self, state: ThreadState, owner: int, addr: int
+    ) -> None:
+        """§3.4 hardware-only path: BusRdX on the owner arena's header,
+        then an atomic read-modify-write of the bitmap in the local HOT."""
+        owner_alloc = self.threads[owner].allocator
+        _cls, arena_base = self.region.arena_base_of(addr)
+        header = owner_alloc.headers.get(arena_base)
+        if header is None:
+            raise MementoDoubleFreeError(
+                f"{addr:#x} does not belong to a live arena"
+            )
+        core = state.allocator.core
+        # BusRdX: exclusive ownership of the header line. The line most
+        # likely sits dirty in the owner core's cache.
+        result = core.caches.access_line(header.pa >> LINE_SHIFT, write=True)
+        core.charge(
+            result.cycles + BUSRDX_REMOTE_PENALTY, "hw_free"
+        )
+        # Invalidate the owner's HOT entry if it caches this header —
+        # coherence supplies the line and drops the stale copy (§3.4).
+        # The header parks on the owner's available list so the owner's
+        # next allocation of this class finds it through memory.
+        entry = owner_alloc.hot.lookup(header.size_class)
+        if entry.valid and entry.header is header:
+            owner_alloc.hot.entries[header.size_class].header = None
+            owner_alloc.available[header.size_class].push_head(header)
+            self.stats.add("hot_invalidations")
+        index = header.object_index(addr, self.config)
+        was_full = header.is_full
+        if not header.clear_slot(index):
+            raise MementoDoubleFreeError(f"double free of {addr:#x}")
+        if was_full and header.list_name == "full":
+            # The freed slot makes the arena available again.
+            owner_alloc.full[header.size_class].remove(header)
+            owner_alloc.available[header.size_class].push_head(header)
+            core.charge(2 * self.machine.costs.list_op, "hw_free")
+        core.charge(self.machine.costs.hot_hit, "hw_free")
+        self.stats.add("hardware_remote_frees")
+
+    def flush_nonlocal(self, thread_id: int) -> int:
+        """§3.4 software path: the batch handler frees buffered objects
+        under the owner allocators' locks."""
+        state = self.threads[thread_id]
+        if not state.nonlocal_buffer:
+            return 0
+        core = state.allocator.core
+        core.charge(SOFTWARE_HANDLER_INVOKE, "hw_free")
+        flushed = 0
+        for addr in state.nonlocal_buffer:
+            owner = self._owner_of(addr)
+            core.charge(SOFTWARE_HANDLER_PER_OBJECT, "hw_free")
+            self.threads[owner].allocator.obj_free(addr)
+            flushed += 1
+        state.nonlocal_buffer.clear()
+        self.stats.add("software_batch_flushes")
+        self.stats.add("software_batched_frees", flushed)
+        return flushed
+
+    def flush_all(self) -> int:
+        """Flush every thread's buffer (context switch / exit, §3.4)."""
+        return sum(
+            self.flush_nonlocal(state.thread_id) for state in self.threads
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def live_objects(self) -> int:
+        return sum(
+            header.live_objects
+            for state in self.threads
+            for header in state.allocator.headers.values()
+        )
+
+    def pending_nonlocal(self) -> int:
+        return sum(len(state.nonlocal_buffer) for state in self.threads)

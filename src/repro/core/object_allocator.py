@@ -1,0 +1,287 @@
+"""The hardware object allocator: the Fig. 6 state machines.
+
+Allocation and free execute against the HOT-resident arena header of the
+request's size class. Hits complete in two cycles. Misses perform header
+write-back, list surgery, header fetches from the cache hierarchy, and —
+when no available arena exists — an arena request to the hardware page
+allocator. The eager-refill optimization starts that work when the last
+free object of the resident arena is taken, hiding the miss latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.arena import ArenaHeader, HEADER_BYTES
+from repro.core.config import MementoConfig
+from repro.core.errors import MementoDoubleFreeError
+from repro.core.hot import HardwareObjectTable
+from repro.core.lists import ArenaList
+from repro.core.region import MementoRegion
+from repro.sim.params import LINE_SHIFT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.page_allocator import HardwarePageAllocator
+    from repro.kernel.process import Process
+    from repro.sim.machine import Core
+
+
+class HardwareObjectAllocator:
+    """Per-core object allocator bound to one process's Memento region."""
+
+    def __init__(
+        self,
+        core: "Core",
+        process: "Process",
+        region: MementoRegion,
+        page_allocator: "HardwarePageAllocator",
+        config: MementoConfig,
+        thread_id: int = 0,
+    ) -> None:
+        self.core = core
+        self.process = process
+        self.thread_id = thread_id
+        self.region = region
+        self.page_allocator = page_allocator
+        self.config = config
+        self.machine = core.machine
+        self.costs = self.machine.costs
+        stats = self.machine.stats
+        self.stats = stats.scoped("memento.obj")
+        self.hot = HardwareObjectTable(config, stats.scoped("memento.hot"))
+        self.available: List[ArenaList] = [
+            ArenaList("available", stats.scoped("memento.list.available"))
+            for _ in range(config.num_size_classes)
+        ]
+        self.full: List[ArenaList] = [
+            ArenaList("full", stats.scoped("memento.list.full"))
+            for _ in range(config.num_size_classes)
+        ]
+        #: The in-memory view of every live arena header, keyed by base VA.
+        self.headers: Dict[int, ArenaHeader] = {}
+        #: Arena refills already started by the eager-refill optimization.
+        self._refill_hidden: Dict[int, bool] = {}
+
+    # -- obj-alloc (Fig. 6 steps 5-9) ----------------------------------------
+
+    def obj_alloc(self, size: int) -> int:
+        """Execute obj-alloc: returns the allocated virtual address."""
+        if not 0 < size <= self.config.small_threshold:
+            raise ValueError(
+                f"obj-alloc size {size} outside (0, "
+                f"{self.config.small_threshold}]"
+            )
+        core = self.core
+        size_class = (size + 7) // 8 - 1
+        cycles = self.costs.isa_issue + self.costs.hot_hit
+        entry = self.hot.lookup(size_class)
+
+        hit = entry.valid and not entry.header.is_full
+        if hit:
+            header = entry.header
+        else:
+            miss_cycles = self._switch_arena(size_class)
+            header = self.hot.lookup(size_class).header
+            hidden = self._refill_hidden.pop(size_class, False)
+            if hidden:
+                # The eager refill already completed this work off the
+                # critical path; only the HOT access itself is paid.
+                self.stats.add("hidden_miss_cycles", miss_cycles)
+            else:
+                cycles += miss_cycles
+        self.hot.record_alloc(hit)
+
+        slot = header.find_free_slot()
+        header.set_slot(slot)
+        if header.is_full and self.config.eager_refill:
+            # Start loading/requesting the next arena now so the coming
+            # miss is already satisfied (§3.1).
+            self._refill_hidden[size_class] = True
+        core.charge(cycles, "hw_alloc")
+        self.stats.add("allocs")
+        return header.object_addr(slot, self.config)
+
+    def _switch_arena(self, size_class: int) -> int:
+        """Replace the resident arena of ``size_class``; returns cycles.
+
+        Covers Fig. 6 steps 8 (load from the available list) and 9 (no
+        valid arena — request a new one from the page allocator).
+        """
+        cycles = 0
+        available = self.available[size_class]
+        if available:
+            header = available.pop_head()
+            cycles += self.costs.hot_miss_header_fetch
+            cycles += self.costs.list_op  # available-head update
+        else:
+            header = self._request_arena(size_class)
+            cycles += self.costs.arena_request
+        replaced = self.hot.fill(size_class, header)
+        if replaced is not None:
+            cycles += self.costs.hot_writeback
+            self._writeback_header(replaced)
+            target = (
+                self.full[size_class]
+                if replaced.is_full
+                else self.available[size_class]
+            )
+            cycles += self.costs.list_op * target.push_head(replaced)
+        return cycles
+
+    def _request_arena(self, size_class: int) -> ArenaHeader:
+        """Fig. 6 steps 1-4: new arena from the page allocator, header
+        initialized and instantiated in the cache (never fetched from
+        DRAM — its contents are new)."""
+        va, header_pfn = self.page_allocator.alloc_arena(
+            self.core, self.process, size_class, self.thread_id
+        )
+        header = ArenaHeader(
+            va=va,
+            size_class=size_class,
+            pa=header_pfn << 12,
+            objects=self.config.objects_per_arena,
+        )
+        self.headers[va] = header
+        self.core.caches.instantiate(header.pa, write=True)
+        self.stats.add("arenas_initialized")
+        return header
+
+    # -- obj-free (Fig. 6 steps 10-13) ------------------------------------------
+
+    def obj_free(self, addr: int) -> None:
+        """Execute obj-free for an in-region address."""
+        core = self.core
+        size_class, arena_base = self.region.arena_base_of(addr)
+        cycles = self.costs.isa_issue + self.costs.hot_hit
+        entry = self.hot.lookup(size_class)
+
+        hit = entry.valid and entry.header.va == arena_base
+        if hit:
+            header = entry.header
+            self.hot.record_free(True)
+            self._clear_checked(header, addr)
+        else:
+            self.hot.record_free(False)
+            header = self.headers.get(arena_base)
+            if header is None:
+                raise MementoDoubleFreeError(
+                    f"{addr:#x} does not belong to a live arena"
+                )
+            # Translate the arena base (TLB first, marked walk on a miss)
+            # and fetch the header line from the hierarchy.
+            vpn = arena_base >> 12
+            pfn = core.tlb.lookup(vpn)
+            if pfn is None:
+                pfn = self.page_allocator.handle_walk(
+                    core, self.process, arena_base
+                )
+                core.tlb.insert(vpn, pfn)
+            result = core.caches.access_line(
+                (pfn << 12 | (arena_base & 0xFFF)) >> LINE_SHIFT, write=True
+            )
+            cycles += result.cycles
+            was_full = header.is_full
+            self._clear_checked(header, addr)
+            if was_full:
+                # Move full -> available (head insert), Fig. 6 step 13.
+                cycles += self.costs.list_op * self.full[size_class].remove(
+                    header
+                )
+                cycles += self.costs.list_op * self.available[
+                    size_class
+                ].push_head(header)
+            if header.is_empty:
+                cycles += self._release_empty_arena(header)
+        core.charge(cycles, "hw_free")
+        self.stats.add("frees")
+
+    def _clear_checked(self, header: ArenaHeader, addr: int) -> None:
+        index = header.object_index(addr, self.config)
+        if not header.clear_slot(index):
+            raise MementoDoubleFreeError(
+                f"double free of {addr:#x} (arena {header.va:#x} slot "
+                f"{index})"
+            )
+
+    def _release_empty_arena(self, header: ArenaHeader) -> int:
+        """A non-resident arena lost its last object: return its pages."""
+        cycles = 0
+        if header.list_name == "available":
+            cycles += self.costs.list_op * self.available[
+                header.size_class
+            ].remove(header)
+        elif header.list_name == "full":  # pragma: no cover - empty≠full
+            cycles += self.costs.list_op * self.full[
+                header.size_class
+            ].remove(header)
+        del self.headers[header.va]
+        self.page_allocator.free_arena(
+            self.core, self.process, header.va, header.size_class
+        )
+        self.stats.add("arenas_released")
+        return cycles
+
+    # -- write-back / flush -----------------------------------------------------
+
+    def _writeback_header(self, header: ArenaHeader) -> None:
+        """Replaced HOT entries are written back to their memory location
+        using the entry's PA field (§3.1)."""
+        self.core.caches.access_line(header.pa >> LINE_SHIFT, write=True)
+
+    def flush_for_switch(self, core: "Core") -> int:
+        """Context switch: write back and drop every valid HOT entry.
+
+        Resident arenas return to the appropriate per-class list so a
+        later switch-in finds them through memory. Returns the number of
+        entries flushed (the kernel charges the per-entry cost, §6.6).
+        """
+        flushed = 0
+        for size_class in range(self.config.num_size_classes):
+            entry = self.hot.lookup(size_class)
+            if not entry.valid:
+                continue
+            header = entry.header
+            self._writeback_header(header)
+            target = (
+                self.full[size_class]
+                if header.is_full
+                else self.available[size_class]
+            )
+            target.push_head(header)
+            flushed += 1
+        self.hot.flush()
+        self._refill_hidden.clear()
+        return flushed
+
+    # -- introspection ------------------------------------------------------------
+
+    def header_of(self, addr: int) -> Optional[ArenaHeader]:
+        """The live arena header covering ``addr`` (bypass engine hook)."""
+        if not self.region.contains(addr):
+            return None
+        _, arena_base = self.region.arena_base_of(addr)
+        header = self.headers.get(arena_base)
+        if header is None:
+            return None
+        if addr < header.va + HEADER_BYTES:
+            return None  # header line itself, not an object
+        return header
+
+    def occupancy_fraction(self, include_empty: bool = False) -> float:
+        """Allocated fraction of live arena slots (fragmentation probe).
+
+        By default empty arenas (resident-but-idle size classes) are
+        excluded: the §6.6 fragmentation metric asks how densely the
+        memory actively given to the HOT is used.
+        """
+        capacity = used = 0
+        for header in self.headers.values():
+            if header.is_empty and not include_empty:
+                continue
+            capacity += header.objects
+            used += header.live_objects
+        return used / capacity if capacity else 1.0
+
+    @property
+    def live_arenas(self) -> int:
+        return len(self.headers)

@@ -1,0 +1,70 @@
+"""The reserved Memento virtual region (§3.2).
+
+The OS reserves a contiguous virtual range per process and exposes it to
+hardware via the MRS/MRE control registers. The region is divided *evenly*
+into 64 size-class sub-regions — the key design decision that lets the
+hardware recover the size class and the arena base address of any object
+pointer with simple bit arithmetic (no associative search, no metadata
+lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.arena import arena_span_bytes
+from repro.core.config import MementoConfig
+
+
+@dataclass(frozen=True)
+class MementoRegion:
+    """MRS/MRE register pair plus the derived carve geometry."""
+
+    mrs: int  # Memento Region Start
+    mre: int  # Memento Region End (exclusive)
+    config: MementoConfig
+
+    @classmethod
+    def reserve(
+        cls, base: int, config: MementoConfig
+    ) -> "MementoRegion":
+        """Reserve a region of ``config.region_bytes`` at ``base``."""
+        if base % 4096:
+            raise ValueError("region base must be page aligned")
+        return cls(mrs=base, mre=base + config.region_bytes, config=config)
+
+    def contains(self, addr: int) -> bool:
+        """MMU check: does ``addr`` fall inside [MRS, MRE)? (§3.2)"""
+        return self.mrs <= addr < self.mre
+
+    def class_base(self, size_class: int) -> int:
+        """Base virtual address of a size class's sub-region."""
+        if not 0 <= size_class < self.config.num_size_classes:
+            raise ValueError(f"size class {size_class} out of range")
+        return self.mrs + size_class * self.config.per_class_region_bytes
+
+    def size_class_of(self, addr: int) -> int:
+        """Recover the size class of an in-region address (bit math)."""
+        if not self.contains(addr):
+            raise ValueError(f"{addr:#x} is outside the Memento region")
+        return (addr - self.mrs) // self.config.per_class_region_bytes
+
+    def arena_base_of(self, addr: int) -> Tuple[int, int]:
+        """Recover ``(size_class, arena_base)`` for an object address.
+
+        The offset within the size-class sub-region is rounded down to the
+        arena span of that class — "the rounding can be implemented in
+        hardware efficiently because the arena sizes are known in advance".
+        """
+        size_class = self.size_class_of(addr)
+        span = arena_span_bytes(size_class, self.config)
+        class_base = self.class_base(size_class)
+        offset = addr - class_base
+        return size_class, class_base + (offset // span) * span
+
+    def arenas_per_class(self, size_class: int) -> int:
+        """How many arenas fit in one size class's sub-region."""
+        return self.config.per_class_region_bytes // arena_span_bytes(
+            size_class, self.config
+        )

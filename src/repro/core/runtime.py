@@ -1,0 +1,180 @@
+"""Software integration: malloc/free routing onto Memento (§4).
+
+``MementoRuntime`` is the per-process allocation facade the harness drives.
+It implements the paper's first integration approach: ``malloc`` checks the
+request size and routes small requests to ``obj-alloc``; ``free`` checks
+whether the pointer lies inside the Memento region and routes it to
+``obj-free``, otherwise to the software allocator. The existing
+malloc/free interface is unchanged.
+
+Garbage-collected runtimes integrate the same way (§4): the GC calls
+obj-free when it decides objects are dead. For Go, frees are deferred
+exactly as the baseline sweeper defers them — buffered until the GOGC
+pacing triggers — and anything still live at function exit is batch-freed
+by the hardware page allocator when the OS tears the process down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.allocators.base import align8
+from repro.allocators.glibc_large import LargeAllocator
+from repro.allocators.goalloc import GcPolicy
+from repro.core.bypass import BypassEngine
+from repro.core.config import MementoConfig
+from repro.core.errors import NotAMementoAddressError
+from repro.core.isa import MementoIsa
+from repro.core.object_allocator import HardwareObjectAllocator
+from repro.core.region import MementoRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.page_allocator import HardwarePageAllocator
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+    from repro.sim.machine import Core
+
+#: Fixed virtual base for per-process Memento regions (outside the mmap
+#: window the VmaManager hands out).
+REGION_BASE = 0x4000_0000_0000
+
+
+class MementoProcessContext:
+    """Everything Memento holds for one process.
+
+    Created when the OS reserves the region and programs MRS/MRE; attached
+    to ``process.memento`` so the kernel can flush the HOT on context
+    switches and release arenas at exit.
+    """
+
+    def __init__(
+        self,
+        core: "Core",
+        process: "Process",
+        page_allocator: "HardwarePageAllocator",
+        config: MementoConfig,
+    ) -> None:
+        base = REGION_BASE + process.pid * config.region_bytes
+        self.region = MementoRegion.reserve(base, config)
+        self.page_allocator = page_allocator
+        self.process = process
+        page_allocator.attach(process, self.region)
+        self.object_allocator = HardwareObjectAllocator(
+            core, process, self.region, page_allocator, config
+        )
+        self.isa = MementoIsa(self.object_allocator)
+        self.bypass = BypassEngine(
+            config, core.machine.stats.scoped("memento.bypass")
+        )
+        self.released = False
+
+    def release_all(self, core: "Core") -> int:
+        """Process exit: the page allocator reclaims every arena page."""
+        if self.released:
+            return 0
+        self.released = True
+        return self.page_allocator.release_process(core, self.process)
+
+
+class MementoRuntime:
+    """The malloc/free routing layer for one process on one core."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        core: "Core",
+        language: str,
+        page_allocator: "HardwarePageAllocator",
+        config: Optional[MementoConfig] = None,
+        touch=None,
+    ) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.core = core
+        self.language = language
+        self.config = config or MementoConfig()
+        self.costs = kernel.machine.costs.user(language)
+        self.context = MementoProcessContext(
+            core, process, page_allocator, self.config
+        )
+        process.memento = self.context
+        self.large = LargeAllocator(kernel, process, touch)
+        self.stats = kernel.machine.stats.scoped("memento.runtime")
+        self._sizes: Dict[int, int] = {}  # live memento addr -> size
+        # Deferred-free state for GC'd runtimes (Go).
+        self._deferred: List[int] = []
+        self._gc = GcPolicy() if language == "go" else None
+
+    # -- malloc/free (the unchanged software interface) ----------------------
+
+    def malloc(self, size: int) -> int:
+        """Route a request: small → obj-alloc, large → software (§4)."""
+        self.core.charge(self.costs.wrapper, "hw_alloc")
+        if align8(size) > self.config.small_threshold:
+            self.stats.add("large_allocs")
+            return self.large.malloc(self.core, size)
+        addr = self.context.isa.obj_alloc(size)
+        self._sizes[addr] = size
+        if self._gc is not None and self._gc.on_alloc(align8(size)):
+            self.collect()
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Route a free by the pointer's region membership (§4)."""
+        self.core.charge(self.costs.wrapper, "hw_free")
+        if not self.context.region.contains(addr):
+            if addr in self.large.live:
+                self.stats.add("large_frees")
+                self.large.free(self.core, addr)
+                return
+            raise NotAMementoAddressError(
+                f"{addr:#x} is neither a Memento object nor a live large "
+                f"allocation"
+            )
+        if self._gc is not None:
+            # The GC runtime frees when it collects, not when the object
+            # dies (§4's GC integration).
+            self._deferred.append(addr)
+            return
+        self._obj_free(addr)
+
+    def _obj_free(self, addr: int) -> None:
+        size = self._sizes.pop(addr, None)
+        header = self.context.object_allocator.header_of(addr)
+        self.context.isa.obj_free(addr)
+        if header is not None and size is not None:
+            self.context.bypass.on_free(header, addr, align8(size))
+
+    def collect(self) -> int:
+        """GC point: flush deferred frees through obj-free (§4)."""
+        if self._gc is None:
+            return 0
+        flushed = 0
+        for addr in self._deferred:
+            self._obj_free(addr)
+            flushed += 1
+        self._deferred.clear()
+        live_bytes = sum(align8(s) for s in self._sizes.values())
+        self._gc.after_gc(live_bytes)
+        self.stats.add("gc_flushed_frees", flushed)
+        return flushed
+
+    # -- object access (harness hook) --------------------------------------------
+
+    def access_object(self, addr: int, write: bool = True):
+        """First-class access path for Memento-allocated data: consult the
+        bypass engine; fall back to a regular hierarchy access."""
+        header = self.context.object_allocator.header_of(addr)
+        if header is not None:
+            return self.context.bypass.access(self.core, header, addr, write)
+        return self.core.caches.access(addr, write=write)
+
+    def teardown(self) -> None:
+        """Function exit: deferred frees are abandoned to the batch path."""
+        self._deferred.clear()
+        self._sizes.clear()
+
+    @property
+    def live_small_objects(self) -> int:
+        return len(self._sizes)

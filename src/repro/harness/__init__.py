@@ -1,0 +1,16 @@
+"""Experiment harness: replay traces on baseline or Memento systems."""
+
+from repro.harness.experiment import (
+    WorkloadResult,
+    run_all,
+    run_workload,
+)
+from repro.harness.system import RunResult, SimulatedSystem
+
+__all__ = [
+    "RunResult",
+    "SimulatedSystem",
+    "WorkloadResult",
+    "run_all",
+    "run_workload",
+]

@@ -1,0 +1,181 @@
+"""Baseline-vs-Memento experiments and derived metrics.
+
+``run_workload`` replays one workload on both stacks and derives every
+per-workload metric the evaluation section reports: speedup (Fig. 8), the
+savings breakdown (Fig. 9), bandwidth reduction (Fig. 10), memory usage
+(Fig. 11), HOT hit rates (Fig. 12), and arena list-operation frequency
+(Fig. 13). Results are memoized — the benchmark files all share one set
+of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MementoConfig
+from repro.harness.system import RunResult, SimulatedSystem
+from repro.workloads.registry import (
+    DATAPROC_WORKLOADS,
+    FUNCTION_WORKLOADS,
+    PLATFORM_WORKLOADS,
+)
+from repro.workloads.synth import WorkloadSpec
+
+
+@dataclass
+class WorkloadResult:
+    """Baseline and Memento runs of one workload plus derived metrics.
+
+    ``memento_nobypass`` is a third run with the main-memory bypass
+    disabled; the bypass mechanism's contribution is measured as the
+    marginal gain of enabling it (ablation attribution, matching how a
+    combined figure like Fig. 9 separates an otherwise-entangled
+    mechanism).
+    """
+
+    spec: WorkloadSpec
+    baseline: RunResult
+    memento: RunResult
+    memento_nobypass: RunResult
+
+    # -- Fig. 8 -------------------------------------------------------------
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.total_cycles / self.memento.total_cycles
+
+    # -- Fig. 9 -------------------------------------------------------------
+
+    def savings(self) -> Dict[str, float]:
+        """Cycles saved per mechanism (may be slightly negative when a
+        category grew; the breakdown clamps at zero like the figure)."""
+        base, mem = self.baseline.cycles, self.memento.cycles
+
+        def get(cycles: Dict[str, float], *keys: str) -> float:
+            return sum(cycles.get(key, 0.0) for key in keys)
+
+        bypass_gain = (
+            self.memento_nobypass.total_cycles - self.memento.total_cycles
+        )
+        return {
+            "obj-alloc": get(base, "user_alloc")
+            - get(mem, "hw_alloc", "user_alloc"),
+            "obj-free": get(base, "user_free")
+            - get(mem, "hw_free", "user_free"),
+            "page-mgmt": get(base, "kernel_page", "walk")
+            - get(mem, "hw_page", "kernel_page", "walk"),
+            "bypass": bypass_gain,
+        }
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractional Fig. 9 breakdown (sums to 1 over positive savings)."""
+        savings = {k: max(0.0, v) for k, v in self.savings().items()}
+        total = sum(savings.values())
+        if total == 0:
+            return {key: 0.0 for key in savings}
+        return {key: value / total for key, value in savings.items()}
+
+    # -- Fig. 10 ------------------------------------------------------------
+
+    @property
+    def bandwidth_reduction(self) -> float:
+        """Fraction of baseline DRAM traffic Memento eliminated."""
+        if self.baseline.dram_bytes == 0:
+            return 0.0
+        return 1.0 - self.memento.dram_bytes / self.baseline.dram_bytes
+
+    @property
+    def bypass_bandwidth_share(self) -> float:
+        """The share of baseline traffic saved by main-memory bypass."""
+        if self.baseline.dram_bytes == 0:
+            return 0.0
+        return (self.memento.bypassed_lines * 64) / self.baseline.dram_bytes
+
+    # -- Fig. 11 ------------------------------------------------------------
+
+    def memory_usage_ratios(self) -> Dict[str, float]:
+        """Normalized aggregate memory usage (Memento / baseline)."""
+        base, mem = self.baseline, self.memento
+
+        def ratio(m: float, b: float) -> float:
+            return m / b if b else 1.0
+
+        return {
+            "user": ratio(mem.user_pages_aggregate, base.user_pages_aggregate),
+            "kernel": ratio(
+                mem.kernel_pages_aggregate, base.kernel_pages_aggregate
+            ),
+            "total": ratio(
+                mem.total_pages_aggregate, base.total_pages_aggregate
+            ),
+        }
+
+    # -- Table 2 ------------------------------------------------------------
+
+    def user_kernel_split(self) -> Dict[str, float]:
+        """Baseline memory-management cycle split (Table 2)."""
+        cycles = self.baseline.cycles
+        user = cycles.get("user_alloc", 0) + cycles.get("user_free", 0)
+        kernel = cycles.get("kernel_page", 0) + cycles.get("walk", 0)
+        total = user + kernel
+        if total == 0:
+            return {"user": 0.0, "kernel": 0.0}
+        return {"user": user / total, "kernel": kernel / total}
+
+    @property
+    def mm_fraction_of_runtime(self) -> float:
+        """Share of baseline runtime spent in memory management."""
+        return self.baseline.mm_cycles / self.baseline.total_cycles
+
+
+@lru_cache(maxsize=512)
+def _run_cached(
+    spec: WorkloadSpec,
+    memento: bool,
+    cold_start: bool,
+    bypass: bool = True,
+) -> RunResult:
+    config = MementoConfig(bypass_enabled=bypass)
+    return SimulatedSystem(
+        spec, memento, cold_start=cold_start, memento_config=config
+    ).run()
+
+
+def run_workload(
+    spec: WorkloadSpec, cold_start: bool = False
+) -> WorkloadResult:
+    """Run (or fetch the memoized) baseline + Memento + no-bypass trio."""
+    return WorkloadResult(
+        spec=spec,
+        baseline=_run_cached(spec, False, cold_start),
+        memento=_run_cached(spec, True, cold_start),
+        memento_nobypass=_run_cached(spec, True, cold_start, bypass=False),
+    )
+
+
+def run_all(
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    cold_start: bool = False,
+) -> List[WorkloadResult]:
+    """Run every workload (functions + data proc + platform by default)."""
+    if specs is None:
+        specs = (
+            FUNCTION_WORKLOADS + DATAPROC_WORKLOADS + PLATFORM_WORKLOADS
+        )
+    return [run_workload(spec, cold_start) for spec in specs]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geomean helper for speedup averages."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def average_speedup(results: Sequence[WorkloadResult]) -> float:
+    return geometric_mean([r.speedup for r in results])

@@ -1,0 +1,326 @@
+"""System assembly and trace replay.
+
+``SimulatedSystem`` builds a complete stack — machine, kernel, and either
+the language's software allocator (baseline) or the Memento hardware plus
+the routing runtime (treatment) — and replays a workload trace through it,
+collecting cycles by category, DRAM traffic, and memory usage. Both stacks
+run on identical hardware; the only difference is who handles memory
+management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.allocators import ALLOCATOR_BY_LANGUAGE
+from repro.allocators.jemalloc import JemallocAllocator
+from repro.core.config import MementoConfig
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.core.runtime import MementoRuntime
+from repro.kernel.kernel import Kernel
+from repro.sim.cycles import CostModel
+from repro.sim.machine import Machine
+from repro.sim.params import MachineParams, PAGE_SHIFT, PAGE_SIZE
+from repro.workloads.dataproc import DATAPROC_PURGE_AFTER, DATAPROC_RUN_BYTES
+from repro.workloads.synth import WorkloadSpec, generate_trace
+from repro.workloads.trace import Alloc, Compute, Free, Touch, Trace
+
+#: Cycle categories making up memory management on each stack.
+BASELINE_MM = ("user_alloc", "user_free", "kernel_page", "walk")
+MEMENTO_MM = (
+    "hw_alloc",
+    "hw_free",
+    "hw_page",
+    "user_alloc",
+    "user_free",
+    "kernel_page",
+    "walk",
+)
+
+#: Container cold-start model (§6.6): crun setup work executed before the
+#: function body, identical on both stacks (container pages are not heap
+#: and stay outside Memento's region).
+COLD_START_APP_FRACTION = 0.18
+COLD_START_PAGES = 400
+
+
+@dataclass
+class RunResult:
+    """Everything one replay produced."""
+
+    name: str
+    memento: bool
+    cycles: Dict[str, float] = field(default_factory=dict)
+    total_cycles: float = 0.0
+    seconds: float = 0.0
+    dram_bytes: float = 0.0
+    user_pages_aggregate: int = 0
+    kernel_pages_aggregate: int = 0
+    peak_pages: int = 0
+    peak_user_pages: int = 0
+    hot_alloc_hit_rate: Optional[float] = None
+    hot_free_hit_rate: Optional[float] = None
+    aac_hit_rate: Optional[float] = None
+    bypassed_lines: int = 0
+    list_ops_alloc: float = 0.0
+    list_ops_free: float = 0.0
+    allocs: int = 0
+    frees: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pages_aggregate(self) -> int:
+        return self.user_pages_aggregate + self.kernel_pages_aggregate
+
+    @property
+    def mm_cycles(self) -> float:
+        keys = MEMENTO_MM if self.memento else BASELINE_MM
+        return sum(self.cycles.get(key, 0.0) for key in keys)
+
+
+class SimulatedSystem:
+    """One process on one core, baseline or Memento."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        memento: bool,
+        machine_params: Optional[MachineParams] = None,
+        cost_model: Optional[CostModel] = None,
+        memento_config: Optional[MementoConfig] = None,
+        mmap_populate: bool = False,
+        cold_start: bool = False,
+        allocator_cls=None,
+        allocator_kwargs: Optional[dict] = None,
+        machine: Optional[Machine] = None,
+        kernel: Optional[Kernel] = None,
+        page_allocator: Optional[HardwarePageAllocator] = None,
+    ) -> None:
+        """``machine``/``kernel``/``page_allocator`` may be supplied to
+        co-locate several systems on shared hardware (the multi-process
+        study of §6.6); by default each system gets a private stack."""
+        self.spec = spec.resolved()
+        self.memento = memento
+        self.machine = machine or Machine(machine_params, cost_model)
+        self.kernel = kernel or Kernel(self.machine)
+        self.process = self.kernel.create_process()
+        self.core = self.machine.core
+        self.cold_start = cold_start
+        self.config = memento_config or MementoConfig()
+
+        if memento:
+            self.page_allocator = page_allocator or HardwarePageAllocator(
+                self.kernel, self.config
+            )
+            self.runtime = MementoRuntime(
+                self.kernel,
+                self.process,
+                self.core,
+                self.spec.language,
+                self.page_allocator,
+                self.config,
+            )
+            self.allocator = None
+        else:
+            self.page_allocator = None
+            self.runtime = None
+            cls = allocator_cls or ALLOCATOR_BY_LANGUAGE[self.spec.language]
+            kwargs = dict(allocator_kwargs or {})
+            if (
+                cls is JemallocAllocator
+                and self.spec.category == "dataproc"
+                and "purge_after" not in kwargs
+            ):
+                kwargs["purge_after"] = DATAPROC_PURGE_AFTER
+                kwargs["run_bytes"] = DATAPROC_RUN_BYTES
+            kwargs["touch"] = self._metadata_touch
+            self.allocator = cls(self.kernel, self.process, **kwargs)
+            self.allocator.mmap_populate = mmap_populate
+            self.allocator.warm = self.spec.warm_heap
+            self.allocator.large.warm = self.spec.warm_heap
+        if memento and mmap_populate:
+            raise ValueError("MAP_POPULATE applies to the baseline stack")
+
+        self._addr_of: Dict[int, int] = {}
+        self._size_of: Dict[int, int] = {}
+
+    def _metadata_touch(
+        self, core, vaddr: int, write: bool, category: str
+    ) -> None:
+        """Allocator metadata updates (pool/run headers, free-list heads)
+        are real memory accesses: they occupy cache space and generate the
+        allocation traffic the HOT absorbs on the Memento stack."""
+        pfn = self._translate(vaddr)
+        paddr = (pfn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+        result = core.caches.access(paddr, write=write)
+        core.charge(result.cycles, category)
+
+    # -- the malloc/free/access surface ---------------------------------------
+
+    def _malloc(self, size: int) -> int:
+        if self.memento:
+            return self.runtime.malloc(size)
+        return self.allocator.malloc(self.core, size)
+
+    def _free(self, addr: int) -> None:
+        if self.memento:
+            self.runtime.free(addr)
+        else:
+            self.allocator.free(self.core, addr)
+
+    def _translate(self, vaddr: int) -> int:
+        """MMU path: TLB, then the owning page table, filling on demand."""
+        vpn = vaddr >> PAGE_SHIFT
+        pfn = self.core.tlb.lookup(vpn)
+        if pfn is not None:
+            return pfn
+        if self.memento and self.runtime.context.region.contains(vaddr):
+            pfn = self.page_allocator.handle_walk(
+                self.core, self.process, vaddr
+            )
+        else:
+            pfn = self.kernel.translate(self.core, self.process, vaddr)
+            if pfn is None:
+                pfn = self.kernel.fault_handler.handle(
+                    self.core, self.process, vaddr
+                )
+        self.core.tlb.insert(vpn, pfn)
+        return pfn
+
+    def _touch(self, event: Touch) -> None:
+        base = self._addr_of[event.obj] + event.line_offset * 64
+        header = None
+        bypass = None
+        if self.memento:
+            header = self.runtime.context.object_allocator.header_of(base)
+            bypass = self.runtime.context.bypass
+        for line in range(event.lines):
+            vaddr = base + line * 64
+            pfn = self._translate(vaddr)
+            paddr = (pfn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+            if header is not None:
+                result = bypass.access(
+                    self.core, header, vaddr, event.write, cache_addr=paddr
+                )
+            else:
+                result = self.core.caches.access(paddr, write=event.write)
+            self.core.charge(result.cycles, "touch")
+
+    # -- replay ------------------------------------------------------------------
+
+    def run(self, trace: Optional[Trace] = None) -> RunResult:
+        """Replay ``trace`` (generated from the spec when omitted)."""
+        trace = trace or generate_trace(self.spec)
+        if self.cold_start:
+            self._run_cold_start(trace)
+        allocs = frees = 0
+        for event in trace:
+            if isinstance(event, Compute):
+                self.core.charge(event.cycles, "app")
+                if event.dram_bytes:
+                    self.machine.dram.record_bulk_bytes(event.dram_bytes)
+            elif isinstance(event, Alloc):
+                addr = self._malloc(event.size)
+                self._addr_of[event.obj] = addr
+                self._size_of[event.obj] = event.size
+                allocs += 1
+            elif isinstance(event, Touch):
+                self._touch(event)
+            elif isinstance(event, Free):
+                self._free(self._addr_of.pop(event.obj))
+                del self._size_of[event.obj]
+                frees += 1
+        if trace.category == "function":
+            self._function_exit()
+        return self._collect(trace, allocs, frees)
+
+    def _run_cold_start(self, trace: Trace) -> None:
+        """Container setup before the function body (identical work on
+        both stacks: container pages are not Memento-managed)."""
+        spec = self.spec
+        setup_app = int(
+            spec.num_allocs * spec.compute_per_alloc * COLD_START_APP_FRACTION
+        )
+        self.core.charge(setup_app, "app")
+        base = self.kernel.syscalls.mmap(
+            self.core, self.process, COLD_START_PAGES * PAGE_SIZE
+        )
+        for page in range(COLD_START_PAGES):
+            self.kernel.fault_handler.handle(
+                self.core, self.process, base + page * PAGE_SIZE
+            )
+        self.machine.dram.record_bulk_bytes(COLD_START_PAGES * 1024)
+
+    def _function_exit(self) -> None:
+        """Function completion: runtimes tear down, the OS batch-frees."""
+        if self.memento:
+            self.runtime.teardown()
+        else:
+            self.allocator.teardown(self.core)
+        self.kernel.exit_process(self.core, self.process)
+
+    # -- result collection ----------------------------------------------------------
+
+    def _collect(self, trace: Trace, allocs: int, frees: int) -> RunResult:
+        stats = self.machine.stats
+        cycles = {
+            key.split("cycles.", 1)[1]: value
+            for key, value in stats.with_prefix("cycles").items()
+        }
+        result = RunResult(
+            name=trace.name,
+            memento=self.memento,
+            cycles=cycles,
+            total_cycles=self.core.cycles,
+            seconds=self.machine.params.cycles_to_seconds(self.core.cycles),
+            dram_bytes=self.machine.dram.total_bytes,
+            allocs=allocs,
+            frees=frees,
+            stats=stats.snapshot(),
+        )
+        result.peak_pages = max(
+            self.machine.frames.peak("user")
+            + self.machine.frames.peak("kernel"),
+            1,
+        )
+        result.peak_user_pages = max(self.machine.frames.peak("user"), 1)
+        if self.memento:
+            allocator = self.runtime.context.object_allocator
+            result.hot_alloc_hit_rate = allocator.hot.alloc_hit_rate()
+            result.hot_free_hit_rate = allocator.hot.free_hit_rate()
+            result.aac_hit_rate = self.page_allocator.aac.hit_rate()
+            result.bypassed_lines = int(
+                stats["memento.bypass.bypassed_lines"]
+            )
+            list_ops = (
+                stats["memento.list.available.pushes"]
+                + stats["memento.list.available.removes"]
+                + stats["memento.list.full.pushes"]
+                + stats["memento.list.full.removes"]
+            )
+            # Split list surgery between the alloc path (arena switches)
+            # and the free path (full->available moves, releases).
+            alloc_side = (
+                stats["memento.list.full.pushes"]
+                + stats["memento.list.available.removes"]
+            )
+            result.list_ops_alloc = alloc_side / max(1, allocs)
+            result.list_ops_free = (list_ops - alloc_side) / max(1, frees)
+            result.user_pages_aggregate = int(
+                stats["memento.page.arena_pages_mapped"]
+            ) + self.process.user_pages_aggregate
+            # Memento table pages are pool pages recycled in hardware; the
+            # OS allocates them once, so the aggregate contribution is the
+            # peak, not the churn count.
+            result.kernel_pages_aggregate = (
+                int(stats["memento.page.table_pages_peak"])
+                + int(self.machine.frames.aggregate("kernel"))
+                + self.process.vmas.aggregate_metadata_pages()
+            )
+        else:
+            result.user_pages_aggregate = self.process.user_pages_aggregate
+            result.kernel_pages_aggregate = int(
+                self.machine.frames.aggregate("kernel")
+            ) + self.process.vmas.aggregate_metadata_pages()
+        return result

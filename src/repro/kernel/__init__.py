@@ -1,0 +1,25 @@
+"""Operating-system substrate.
+
+Models the kernel paths the paper instruments (§2.1): ``mmap``/``munmap``
+virtual-address management, demand paging through the page-fault handler,
+the buddy physical page allocator, 4-level page tables, and process
+context switches. These are the "kernel half" of memory-management cycles
+that Memento's hardware page allocator eliminates.
+"""
+
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.fault import PageFaultError
+from repro.kernel.kernel import Kernel
+from repro.kernel.page_table import PageTable
+from repro.kernel.process import Process
+from repro.kernel.vma import Vma, VmaManager
+
+__all__ = [
+    "BuddyAllocator",
+    "Kernel",
+    "PageFaultError",
+    "PageTable",
+    "Process",
+    "Vma",
+    "VmaManager",
+]

@@ -1,0 +1,194 @@
+"""Four-level (x86-64 style) page tables.
+
+Virtual page numbers are split into four 9-bit indices (PGD/PUD/PMD/PTE).
+Each table node occupies one physical page frame obtained from a caller
+supplied frame source, so kernel page usage (and Memento's pool usage) is
+charged to the right ledger, and page walks can be simulated as real memory
+accesses to the node frames. The same structure backs both the kernel's
+CR3-rooted tables and Memento's MPTR-rooted hardware-managed tables (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+LEVELS = 4
+INDEX_BITS = 9
+INDEX_MASK = (1 << INDEX_BITS) - 1
+
+
+def split_vpn(vpn: int) -> Tuple[int, int, int, int]:
+    """Split a virtual page number into (PGD, PUD, PMD, PTE) indices."""
+    return (
+        (vpn >> (3 * INDEX_BITS)) & INDEX_MASK,
+        (vpn >> (2 * INDEX_BITS)) & INDEX_MASK,
+        (vpn >> INDEX_BITS) & INDEX_MASK,
+        vpn & INDEX_MASK,
+    )
+
+
+class _Node:
+    """One page-table page: a sparse array of up to 512 entries."""
+
+    __slots__ = ("entries", "pfn")
+
+    def __init__(self, pfn: int) -> None:
+        self.entries: dict = {}
+        self.pfn = pfn
+
+
+class PageTable:
+    """A 4-level page table with per-node frame accounting.
+
+    ``alloc_table_page()`` must return a physical frame number for each new
+    table page (the root included); ``free_table_page(pfn)`` is called when
+    a table page is torn down.
+    """
+
+    def __init__(
+        self,
+        alloc_table_page: Optional[Callable[[], int]] = None,
+        free_table_page: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self._alloc_page = alloc_table_page or self._default_source().__next__
+        self._free_page = free_table_page or (lambda pfn: None)
+        self.table_pages = 0
+        self.mapped_pages = 0
+        self.root = self._new_node()
+
+    @staticmethod
+    def _default_source() -> Iterator[int]:
+        """Synthetic frame numbers for standalone use (tests)."""
+        frame = 1 << 40
+        while True:
+            yield frame
+            frame += 1
+
+    def _new_node(self) -> _Node:
+        node = _Node(self._alloc_page())
+        self.table_pages += 1
+        return node
+
+    def _drop_node(self, node: _Node) -> None:
+        self.table_pages -= 1
+        self._free_page(node.pfn)
+
+    def walk(self, vpn: int) -> Optional[int]:
+        """Translate ``vpn``; return the mapped frame or None."""
+        node = self.root
+        indices = split_vpn(vpn)
+        for index in indices[:-1]:
+            child = node.entries.get(index)
+            if child is None:
+                return None
+            node = child
+        return node.entries.get(indices[-1])
+
+    def walk_path(self, vpn: int) -> List[int]:
+        """Frames of the table nodes a walk of ``vpn`` touches, root first.
+
+        The walker issues one memory access per level; the harness replays
+        these through the cache hierarchy so upper-level nodes enjoy
+        realistic locality.
+        """
+        frames = [self.root.pfn]
+        node = self.root
+        for index in split_vpn(vpn)[:-1]:
+            child = node.entries.get(index)
+            if child is None:
+                break
+            node = child
+            frames.append(node.pfn)
+        return frames
+
+    def map(self, vpn: int, pfn: int) -> int:
+        """Install ``vpn -> pfn``; return the number of table pages created.
+
+        Remapping an already-mapped page raises — the kernel fault handler
+        and Memento's walker must never double-map.
+        """
+        created = 0
+        node = self.root
+        indices = split_vpn(vpn)
+        for index in indices[:-1]:
+            child = node.entries.get(index)
+            if child is None:
+                child = self._new_node()
+                node.entries[index] = child
+                created += 1
+            node = child
+        last = indices[-1]
+        if last in node.entries:
+            raise ValueError(f"vpn {vpn:#x} is already mapped")
+        node.entries[last] = pfn
+        self.mapped_pages += 1
+        return created
+
+    def unmap(self, vpn: int) -> Tuple[int, int]:
+        """Remove the mapping for ``vpn``.
+
+        Returns ``(pfn, table_pages_freed)``; intermediate nodes emptied by
+        the unmap are torn down, as munmap does (§2.1). Raises KeyError if
+        the page was not mapped.
+        """
+        indices = split_vpn(vpn)
+        path = []
+        node = self.root
+        for index in indices[:-1]:
+            child = node.entries.get(index)
+            if child is None:
+                raise KeyError(f"vpn {vpn:#x} is not mapped")
+            path.append((node, index))
+            node = child
+        last = indices[-1]
+        if last not in node.entries:
+            raise KeyError(f"vpn {vpn:#x} is not mapped")
+        pfn = node.entries.pop(last)
+        self.mapped_pages -= 1
+        freed = 0
+        # Tear down now-empty intermediate tables bottom-up (never the root).
+        child = node
+        for parent, index in reversed(path):
+            if child.entries:
+                break
+            del parent.entries[index]
+            self._drop_node(child)
+            freed += 1
+            child = parent
+        return pfn, freed
+
+    def mappings(self) -> Iterator[Tuple[int, int]]:
+        """Yield every ``(vpn, pfn)`` mapping (teardown/test helper)."""
+
+        def recurse(node: _Node, prefix: int, level: int):
+            for index, entry in node.entries.items():
+                if level == LEVELS - 1:
+                    yield (prefix << INDEX_BITS) | index, entry
+                else:
+                    yield from recurse(
+                        entry, (prefix << INDEX_BITS) | index, level + 1
+                    )
+
+        yield from recurse(self.root, 0, 0)
+
+    def clear(self) -> Tuple[List[int], int]:
+        """Tear down the whole table (process exit / batch free).
+
+        Returns ``(freed_pfns, table_pages_freed)``. The root page remains
+        allocated — an empty address space still has a root.
+        """
+        freed_pfns = [pfn for _, pfn in self.mappings()]
+
+        def drop_children(node: _Node, level: int) -> int:
+            total = 0
+            if level < LEVELS - 1:
+                for child in node.entries.values():
+                    total += 1 + drop_children(child, level + 1)
+                    self._free_page(child.pfn)
+            return total
+
+        interior = drop_children(self.root, 0)
+        self.table_pages -= interior
+        self.mapped_pages = 0
+        self.root.entries.clear()
+        return freed_pfns, interior

@@ -1,0 +1,107 @@
+"""Virtual memory area (VMA) management.
+
+``mmap`` (§2.1 step 4) finds an unused virtual range and records mapping
+metadata without backing it physically; the fault handler later consults
+that metadata. The manager keeps VMAs sorted by start address and hands out
+fresh ranges with a bump pointer, which is how anonymous mmap behaves for
+the short-lived processes modeled here.
+
+Kernel metadata cost: each VMA consumes a slab object; Fig. 11 credits
+Memento with kernel-memory savings partly from needing fewer VMAs, so the
+manager tracks the aggregate number of VMA objects ever created.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.params import PAGE_SIZE
+
+#: Kernel slab bytes consumed per anonymous mapping: vm_area_struct
+#: (~232 B) plus anon_vma, anon_vma_chain, and rmap interval-tree nodes.
+VMA_SLAB_BYTES = 640
+
+
+@dataclass
+class Vma:
+    """One mapped virtual range ``[start, end)`` (page aligned)."""
+
+    start: int
+    end: int
+    populate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start % PAGE_SIZE or self.end % PAGE_SIZE:
+            raise ValueError("VMA bounds must be page aligned")
+        if self.end <= self.start:
+            raise ValueError("VMA must be non-empty")
+
+    @property
+    def pages(self) -> int:
+        return (self.end - self.start) // PAGE_SIZE
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+@dataclass
+class VmaManager:
+    """Sorted VMA set plus a bump pointer for fresh ranges."""
+
+    mmap_base: int = 0x7F00_0000_0000
+    _vmas: List[Vma] = field(default_factory=list)
+    _starts: List[int] = field(default_factory=list)
+    _bump: int = 0
+    aggregate_created: int = 0
+
+    def __post_init__(self) -> None:
+        self._bump = self.mmap_base
+
+    def reserve(self, length: int, populate: bool = False) -> Vma:
+        """Create a VMA of ``length`` bytes at a fresh address."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        length = -(-length // PAGE_SIZE) * PAGE_SIZE
+        vma = Vma(self._bump, self._bump + length, populate)
+        self._bump += length
+        index = bisect.bisect_left(self._starts, vma.start)
+        self._vmas.insert(index, vma)
+        self._starts.insert(index, vma.start)
+        self.aggregate_created += 1
+        return vma
+
+    def find(self, addr: int) -> Optional[Vma]:
+        """Return the VMA covering ``addr``, or None (→ SIGSEGV)."""
+        index = bisect.bisect_right(self._starts, addr) - 1
+        if index >= 0 and self._vmas[index].contains(addr):
+            return self._vmas[index]
+        return None
+
+    def remove(self, start: int) -> Vma:
+        """Remove the VMA starting exactly at ``start`` (munmap of a whole
+        prior mapping, the pattern userspace allocators use)."""
+        index = bisect.bisect_left(self._starts, start)
+        if index >= len(self._starts) or self._starts[index] != start:
+            raise KeyError(f"no VMA starts at {start:#x}")
+        del self._starts[index]
+        return self._vmas.pop(index)
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(vma.end - vma.start for vma in self._vmas)
+
+    def metadata_pages(self) -> int:
+        """Kernel pages consumed by live VMA slab objects (rounded up)."""
+        return -(-len(self._vmas) * VMA_SLAB_BYTES // PAGE_SIZE)
+
+    def aggregate_metadata_pages(self) -> int:
+        """Aggregate kernel pages ever used for VMA objects (Fig. 11)."""
+        return -(-self.aggregate_created * VMA_SLAB_BYTES // PAGE_SIZE)

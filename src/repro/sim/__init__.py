@@ -1,0 +1,35 @@
+"""Simulated machine substrate.
+
+This package models the hardware platform of Table 3 in the paper: a
+multi-level cache hierarchy, a two-level TLB, DRAM traffic accounting, a
+physical frame space, and the calibrated per-operation cycle cost model that
+every other subsystem charges against.
+
+The model is *behavioral*: it tracks hits, misses, traffic, and cycles, not
+per-instruction microarchitecture. See DESIGN.md section 2 for why this
+substitution preserves the paper's conclusions.
+"""
+
+from repro.sim.cache import Cache, CacheHierarchy, MemLevel
+from repro.sim.cycles import CostModel
+from repro.sim.dram import Dram
+from repro.sim.machine import Core, Machine
+from repro.sim.memory import FrameSpace
+from repro.sim.params import MachineParams
+from repro.sim.stats import Stats
+from repro.sim.tlb import Tlb, TlbHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "Core",
+    "CostModel",
+    "Dram",
+    "FrameSpace",
+    "Machine",
+    "MachineParams",
+    "MemLevel",
+    "Stats",
+    "Tlb",
+    "TlbHierarchy",
+]

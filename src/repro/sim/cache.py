@@ -1,0 +1,229 @@
+"""Set-associative cache models and the three-level hierarchy.
+
+Caches are write-back, write-allocate, LRU. The hierarchy is non-inclusive
+(each level tracks its own contents; dirty evictions are installed into the
+next level down). This matches the fidelity the evaluation needs: hit/miss
+classification, DRAM traffic, and the LLC-instantiation path used by the
+main-memory bypass mechanism (§3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sim.params import CacheParams, LINE_SHIFT, MachineParams
+from repro.sim.stats import ScopedStats, Stats
+
+
+class MemLevel(enum.IntEnum):
+    """The level of the hierarchy that satisfied an access."""
+
+    L1 = 1
+    L2 = 2
+    LLC = 3
+    DRAM = 4
+
+
+class Cache:
+    """One set-associative cache level.
+
+    Lines are identified by their line address (byte address >> 6). Sets are
+    ``OrderedDict`` instances ordered least- to most-recently used, mapping
+    line address to a dirty bit.
+    """
+
+    def __init__(self, params: CacheParams, stats: ScopedStats) -> None:
+        self.params = params
+        self.stats = stats
+        self._num_sets = params.num_sets
+        self._ways = params.ways
+        self._sets = [OrderedDict() for _ in range(self._num_sets)]
+
+    def _set_for(self, line_addr: int) -> OrderedDict:
+        return self._sets[line_addr % self._num_sets]
+
+    def lookup(self, line_addr: int, write: bool) -> bool:
+        """Probe for ``line_addr``; update LRU and dirty state on a hit."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            if write:
+                cache_set[line_addr] = True
+            self.stats.add("hits")
+            return True
+        self.stats.add("misses")
+        return False
+
+    def insert(
+        self, line_addr: int, dirty: bool
+    ) -> Optional[Tuple[int, bool]]:
+        """Install ``line_addr``; return ``(victim, victim_dirty)`` if one
+        was evicted, else ``None``."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            cache_set[line_addr] = cache_set[line_addr] or dirty
+            return None
+        victim = None
+        if len(cache_set) >= self._ways:
+            victim_addr, victim_dirty = cache_set.popitem(last=False)
+            victim = (victim_addr, victim_dirty)
+            self.stats.add("evictions")
+            if victim_dirty:
+                self.stats.add("dirty_evictions")
+        cache_set[line_addr] = dirty
+        return victim
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop ``line_addr`` if present; return whether it was present."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            del cache_set[line_addr]
+            return True
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Probe without touching LRU or stats (used by tests)."""
+        return line_addr in self._set_for(line_addr)
+
+    def flush(self) -> int:
+        """Drop all contents; return the number of dirty lines discarded."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for flag in cache_set.values() if flag)
+            cache_set.clear()
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one line access through the hierarchy."""
+
+    level: MemLevel
+    cycles: int
+
+
+class CacheHierarchy:
+    """L1D/L2/LLC hierarchy with DRAM traffic accounting.
+
+    ``access`` walks an address down the hierarchy charging each level's
+    latency until it hits; a full miss charges the DRAM latency and records
+    64 B of read traffic. Dirty victims evicted from the LLC record
+    writeback traffic. ``instantiate`` implements the main-memory bypass
+    fill: the line is created in the LLC (then promoted inward) without
+    touching DRAM.
+    """
+
+    def __init__(
+        self, params: MachineParams, stats: Stats, dram, on_writeback=None
+    ) -> None:
+        self.params = params
+        self.dram = dram
+        #: Charged per dirty LLC eviction (bandwidth backpressure on the
+        #: requesting core); wired by Core.
+        self.on_writeback = on_writeback or (lambda: None)
+        self.l1d = Cache(params.l1d, stats.scoped("l1d"))
+        self.l2 = Cache(params.l2, stats.scoped("l2"))
+        self.llc = Cache(params.llc, stats.scoped("llc"))
+        self.stats = stats.scoped("hierarchy")
+
+    def access(self, addr: int, write: bool = False) -> AccessResult:
+        """Access the byte address ``addr``; returns level and cycles."""
+        line = addr >> LINE_SHIFT
+        return self.access_line(line, write)
+
+    def access_line(self, line: int, write: bool = False) -> AccessResult:
+        """Access one line address through L1 → L2 → LLC → DRAM."""
+        cycles = self.params.l1d.latency
+        if self.l1d.lookup(line, write):
+            return AccessResult(MemLevel.L1, cycles)
+
+        cycles += self.params.l2.latency
+        if self.l2.lookup(line, write=False):
+            self._fill_l1(line, write)
+            return AccessResult(MemLevel.L2, cycles)
+
+        cycles += self.params.llc.latency
+        if self.llc.lookup(line, write=False):
+            self._fill_l2(line)
+            self._fill_l1(line, write)
+            return AccessResult(MemLevel.LLC, cycles)
+
+        # Full miss: fetch from DRAM.
+        cycles += self.params.dram_latency
+        self.dram.record_read_line()
+        self._fill_llc(line, dirty=False)
+        self._fill_l2(line)
+        self._fill_l1(line, write)
+        return AccessResult(MemLevel.DRAM, cycles)
+
+    def instantiate(self, addr: int, write: bool = True) -> AccessResult:
+        """Bypass fill (§3.3): create the line in the LLC without DRAM.
+
+        The request propagates regularly to the LLC to keep coherence
+        simple; the line is zero-instantiated there and promoted inward.
+        """
+        line = addr >> LINE_SHIFT
+        cycles = (
+            self.params.l1d.latency
+            + self.params.l2.latency
+            + self.params.llc.latency
+        )
+        self.stats.add("bypass_fills")
+        self._fill_llc(line, dirty=True)
+        self._fill_l2(line)
+        self._fill_l1(line, write)
+        return AccessResult(MemLevel.LLC, cycles)
+
+    def zero_fill_page(self, paddr_base: int) -> None:
+        """Model kernel page zeroing at fault time: the 64 lines of the
+        page are written through the hierarchy (temporal stores), landing
+        dirty in the LLC and warming it for the faulting access. Their
+        eventual dirty evictions produce the zeroing's DRAM write traffic.
+        """
+        base_line = paddr_base >> LINE_SHIFT
+        for index in range(64):
+            self._fill_llc(base_line + index, dirty=True)
+        self.stats.add("zero_filled_pages")
+
+    def present(self, addr: int) -> bool:
+        """Whether the line holding ``addr`` is anywhere in the hierarchy."""
+        line = addr >> LINE_SHIFT
+        return (
+            self.l1d.contains(line)
+            or self.l2.contains(line)
+            or self.llc.contains(line)
+        )
+
+    def flush_all(self) -> None:
+        """Write back and drop everything (context-switch / cold-start)."""
+        for cache in (self.l1d, self.l2):
+            cache.flush()
+        dirty = self.llc.flush()
+        for _ in range(dirty):
+            self.dram.record_write_line()
+
+    # -- internal fills ---------------------------------------------------
+
+    def _fill_l1(self, line: int, write: bool) -> None:
+        victim = self.l1d.insert(line, dirty=write)
+        if victim is not None and victim[1]:
+            self.l2.insert(victim[0], dirty=True)
+
+    def _fill_l2(self, line: int) -> None:
+        victim = self.l2.insert(line, dirty=False)
+        if victim is not None and victim[1]:
+            self.llc.insert(victim[0], dirty=True)
+
+    def _fill_llc(self, line: int, dirty: bool) -> None:
+        victim = self.llc.insert(line, dirty=dirty)
+        if victim is not None and victim[1]:
+            self.dram.record_write_line()
+            self.on_writeback()

@@ -1,0 +1,107 @@
+"""Machine configuration mirroring Table 3 of the paper.
+
+All structural parameters of the simulated platform live here so that
+sensitivity studies (e.g. the iso-storage 9-way L1D comparison of §6.1) are
+expressed as parameter changes rather than code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+LINE_SIZE = 64
+LINE_SHIFT = 6
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: int  # access latency in cycles
+    line_size: int = LINE_SIZE
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.ways)
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """Geometry of one TLB level."""
+
+    entries: int
+    ways: int
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Full platform configuration (Table 3 defaults).
+
+    CPU: 4-issue OOO at 3 GHz with a 256-entry ROB and 64-entry LSQ. The
+    behavioral model does not simulate the pipeline; the frequency is used
+    to convert cycles to wall time for pricing, and issue width feeds the
+    instruction-cost-to-cycle conversion.
+    """
+
+    freq_hz: float = 3.0e9
+    issue_width: int = 4
+    rob_entries: int = 256
+    lsq_entries: int = 64
+    num_cores: int = 1
+
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(32 * 1024, 8, 2)
+    )
+    l1i: CacheParams = field(
+        default_factory=lambda: CacheParams(32 * 1024, 8, 2)
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams(256 * 1024, 8, 14)
+    )
+    llc: CacheParams = field(
+        default_factory=lambda: CacheParams(2 * 1024 * 1024, 16, 40)
+    )
+
+    tlb_l1: TlbParams = field(default_factory=lambda: TlbParams(64, 4))
+    tlb_l2: TlbParams = field(default_factory=lambda: TlbParams(2048, 12))
+
+    dram_gb: int = 64
+    dram_latency: int = 200  # cycles for a line fetch reaching DRAM
+    dram_banks: int = 16
+
+    # Memento hardware structures (Table 3): HOT is a 3.4 KB direct-mapped
+    # 2-cycle structure; the AAC is a 32-entry direct-mapped 1-cycle cache.
+    hot_size_bytes: int = 3481  # 3.4 KB
+    hot_latency: int = 2
+    aac_entries: int = 32
+    aac_latency: int = 1
+
+    def with_iso_storage_l1d(self) -> "MachineParams":
+        """Return params for the §6.1 iso-storage comparison.
+
+        The HOT's SRAM budget is granted to the L1D instead, growing it from
+        8-way to a hypothetical 9-way at unchanged latency, and Memento is
+        disabled by the caller.
+        """
+        bigger = CacheParams(
+            size_bytes=self.l1d.size_bytes * 9 // 8,
+            ways=9,
+            latency=self.l1d.latency,
+        )
+        return replace(self, l1d=bigger)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at the configured frequency."""
+        return cycles / self.freq_hz
+
+
+DEFAULT_PARAMS = MachineParams()

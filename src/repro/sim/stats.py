@@ -1,0 +1,112 @@
+"""Hierarchical statistics counters.
+
+Every simulated component (caches, TLBs, allocators, the kernel, Memento's
+hardware structures) records events into a :class:`Stats` instance. Counters
+are addressed by dotted names, e.g. ``"l1d.hits"`` or
+``"memento.hot.alloc_hits"``, which keeps reporting code flat and lets the
+harness merge and diff runs without knowing component internals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class Stats:
+    """A bag of named numeric counters.
+
+    Counters spring into existence at zero on first use. Values may be int
+    or float (cycle totals stay integral; derived rates are floats).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to ``value``, overwriting any prior value."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Return the value of ``name``, or ``default`` if never touched."""
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate over ``(name, value)`` pairs in sorted name order."""
+        return iter(sorted(self._counters.items()))
+
+    def merge(self, other: "Stats") -> None:
+        """Add every counter of ``other`` into this instance."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """Return a view that prepends ``prefix + '.'`` to counter names."""
+        return ScopedStats(self, prefix)
+
+    def with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Return a dict of all counters whose name starts with ``prefix``."""
+        dot = prefix if prefix.endswith(".") else prefix + "."
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(dot) or name == prefix
+        }
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a plain-dict copy of all counters."""
+        return dict(self._counters)
+
+    def diff(self, earlier: Mapping[str, float]) -> Dict[str, float]:
+        """Return counters minus an earlier :meth:`snapshot`."""
+        out: Dict[str, float] = {}
+        for name, value in self._counters.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def clear(self) -> None:
+        """Reset all counters."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stats({len(self._counters)} counters)"
+
+
+class ScopedStats:
+    """A prefixing view over a parent :class:`Stats`.
+
+    Components receive a scoped view so their counter names are local
+    (``"hits"``) while the global namespace stays collision-free
+    (``"l1d.hits"``).
+    """
+
+    def __init__(self, parent: Stats, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix.rstrip(".") + "."
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self._parent.add(self._prefix + name, amount)
+
+    def set(self, name: str, value: float) -> None:
+        self._parent.set(self._prefix + name, value)
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._parent.get(self._prefix + name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._parent[self._prefix + name]
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        return ScopedStats(self._parent, self._prefix + prefix)

@@ -1,0 +1,99 @@
+"""Two-level TLB model (Table 3: L1 64-entry 4-way, L2 2048-entry 12-way).
+
+The TLB caches virtual-page to physical-frame translations. Misses trigger
+a page walk through whichever page table owns the address — the kernel's
+(via the CR3-rooted table) or Memento's (via the MPTR-rooted table); that
+dispatch lives in the harness, not here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.sim.params import MachineParams, TlbParams
+from repro.sim.stats import ScopedStats, Stats
+
+
+class Tlb:
+    """One set-associative TLB level, LRU-replaced, keyed by virtual page."""
+
+    def __init__(self, params: TlbParams, stats: ScopedStats) -> None:
+        self.params = params
+        self.stats = stats
+        self._num_sets = max(1, params.entries // params.ways)
+        self._sets = [OrderedDict() for _ in range(self._num_sets)]
+
+    def _set_for(self, vpn: int) -> OrderedDict:
+        return self._sets[vpn % self._num_sets]
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Return the cached frame for virtual page ``vpn``, or ``None``."""
+        tlb_set = self._set_for(vpn)
+        if vpn in tlb_set:
+            tlb_set.move_to_end(vpn)
+            self.stats.add("hits")
+            return tlb_set[vpn]
+        self.stats.add("misses")
+        return None
+
+    def insert(self, vpn: int, frame: int) -> None:
+        """Install a translation, evicting LRU if the set is full."""
+        tlb_set = self._set_for(vpn)
+        if vpn in tlb_set:
+            tlb_set.move_to_end(vpn)
+            tlb_set[vpn] = frame
+            return
+        if len(tlb_set) >= self.params.ways:
+            tlb_set.popitem(last=False)
+            self.stats.add("evictions")
+        tlb_set[vpn] = frame
+
+    def invalidate(self, vpn: int) -> bool:
+        """Shoot down one translation; return whether it was present."""
+        tlb_set = self._set_for(vpn)
+        if vpn in tlb_set:
+            del tlb_set[vpn]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop every translation (context switch without ASIDs)."""
+        for tlb_set in self._sets:
+            tlb_set.clear()
+        self.stats.add("flushes")
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class TlbHierarchy:
+    """L1 + L2 TLB; a hit in either avoids the page walk."""
+
+    def __init__(self, params: MachineParams, stats: Stats) -> None:
+        self.l1 = Tlb(params.tlb_l1, stats.scoped("tlb_l1"))
+        self.l2 = Tlb(params.tlb_l2, stats.scoped("tlb_l2"))
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Translate ``vpn`` if cached; promotes L2 hits into the L1."""
+        frame = self.l1.lookup(vpn)
+        if frame is not None:
+            return frame
+        frame = self.l2.lookup(vpn)
+        if frame is not None:
+            self.l1.insert(vpn, frame)
+        return frame
+
+    def insert(self, vpn: int, frame: int) -> None:
+        """Install a completed walk into both levels."""
+        self.l1.insert(vpn, frame)
+        self.l2.insert(vpn, frame)
+
+    def invalidate(self, vpn: int) -> None:
+        self.l1.invalidate(vpn)
+        self.l2.invalidate(vpn)
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()

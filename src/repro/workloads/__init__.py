@@ -1,0 +1,40 @@
+"""Workload substrate.
+
+The paper's workloads (fourteen serverless functions across Python, C++,
+and Golang; four long-running data-processing applications; three OpenFaaS
+platform operations) cannot be shipped or executed here, so they are
+modeled as deterministic allocation/access/compute traces whose size and
+lifetime statistics reproduce the paper's own characterization (Fig. 2,
+Fig. 3, Tables 1-2). See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.workloads.registry import (
+    DATAPROC_WORKLOADS,
+    FUNCTION_WORKLOADS,
+    PLATFORM_WORKLOADS,
+    all_workloads,
+    get_workload,
+)
+from repro.workloads.synth import WorkloadSpec, generate_trace
+from repro.workloads.trace import (
+    Alloc,
+    Compute,
+    Free,
+    Touch,
+    Trace,
+)
+
+__all__ = [
+    "Alloc",
+    "Compute",
+    "DATAPROC_WORKLOADS",
+    "FUNCTION_WORKLOADS",
+    "Free",
+    "PLATFORM_WORKLOADS",
+    "Touch",
+    "Trace",
+    "WorkloadSpec",
+    "all_workloads",
+    "generate_trace",
+    "get_workload",
+]

@@ -1,0 +1,100 @@
+"""The four long-running data-processing applications (§5, §6.1).
+
+Redis and Memcached (key-value stores, driven with the Kangaroo [37]
+tiny-value size distribution, mixed PUT/GET), Silo (in-memory OLTP), and
+SQLite3 (SELECT-heavy SQL parsing). All are C++ against jemalloc with
+decay purging enabled — these processes live long enough for the dirty
+decay timer to fire, producing the MADV_DONTNEED/refault churn behind the
+38 %/62 % user/kernel split of Table 2. Traces model a steady-state
+measurement window.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import DATAPROC_LIFETIME, KV_SIZE_MODES
+from repro.workloads.synth import WorkloadSpec
+
+DATAPROC_ALLOCS = 40_000
+
+REDIS = WorkloadSpec(
+    name="Redis",
+    language="cpp",
+    category="dataproc",
+    warm_heap=True,
+    size_jitter=0.0,
+    small_fraction=0.985,
+    seed=41,
+    num_allocs=DATAPROC_ALLOCS,
+    size_modes=KV_SIZE_MODES,
+    lifetime=DATAPROC_LIFETIME,
+    compute_per_alloc=500,
+    retouch_prob=0.6,  # SDS strings: keys/values/temporary buffers
+    large_every=500,
+    app_dram_per_alloc=26,
+    phases=16,  # eviction/rehash waves
+    phase_local=0.10,
+)
+
+MEMCACHED = WorkloadSpec(
+    name="Memcached",
+    language="cpp",
+    category="dataproc",
+    warm_heap=True,
+    size_jitter=0.0,
+    small_fraction=0.985,
+    seed=42,
+    num_allocs=DATAPROC_ALLOCS,
+    size_modes=KV_SIZE_MODES,
+    lifetime=DATAPROC_LIFETIME,
+    compute_per_alloc=581,
+    retouch_prob=0.5,
+    large_every=600,
+    app_dram_per_alloc=40,
+    phases=12,
+    phase_local=0.08,
+)
+
+SILO = WorkloadSpec(
+    name="Silo",
+    language="cpp",
+    category="dataproc",
+    warm_heap=True,
+    size_jitter=0.0,
+    small_fraction=0.985,
+    seed=43,
+    num_allocs=DATAPROC_ALLOCS,
+    lifetime=DATAPROC_LIFETIME,
+    compute_per_alloc=402,
+    retouch_prob=0.4,
+    large_every=450,
+    app_dram_per_alloc=36,
+    phases=12,
+    phase_local=0.08,
+)
+
+SQLITE3 = WorkloadSpec(
+    name="SQLite3",
+    language="cpp",
+    category="dataproc",
+    warm_heap=True,
+    size_jitter=0.0,
+    small_fraction=0.985,
+    seed=44,
+    num_allocs=DATAPROC_ALLOCS,
+    lifetime=DATAPROC_LIFETIME,
+    compute_per_alloc=849,  # query execution between parse allocations
+    retouch_prob=0.35,
+    large_every=800,
+    app_dram_per_alloc=44,
+    phases=10,
+    phase_local=0.06,
+)
+
+ALL_DATAPROC = [REDIS, MEMCACHED, SILO, SQLITE3]
+
+#: jemalloc decay purging for long-running processes (runs retired before
+#: purge); functions never reach the decay timer so they use None.
+DATAPROC_PURGE_AFTER = 1
+
+#: Page-sized small runs for the long-running configuration.
+DATAPROC_RUN_BYTES = 4096

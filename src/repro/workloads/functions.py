@@ -1,0 +1,254 @@
+"""The sixteen function workloads of §5.
+
+SeBS: dynamic-html (html), image-recognition (ir), graph-bfs (bfs),
+dna-visualisation (dna). FunctionBench: pyaes (aes), feature_reducer (fr).
+pyperformance: json_loads (jl), json_dumps (jd), mako (mk).
+DeathStarBench C++ ports: UrlShorten (US), UserMentions (UM),
+ComposeMedia (CM), MovieID (MI). Golang ports: html-go, bfs-go, aes-go.
+
+Per-workload parameters encode each function's published character:
+allocation intensity (≥0.5 MallocPKI), working-set/heap size via phase
+structure and long-lived fractions, large-buffer usage, and reuse
+behaviour. ``compute_per_alloc`` sets the memory-management share of
+runtime and is calibrated so baseline-vs-Memento speedups land in the
+paper's Fig. 8 ranges (see EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import LifetimeProfile
+from repro.workloads.synth import WorkloadSpec
+
+#: Trace length for function workloads: long enough for steady-state HOT
+#: and allocator behaviour, short enough to simulate in seconds.
+FUNC_ALLOCS = 24_000
+
+#: Python functions' rare large buffers are mid-sized (lists, bytes
+#: objects) that glibc-style bins recycle; cap their sizes accordingly.
+PY_LARGE_MAX = 16_384
+
+PYTHON_FUNCTIONS = [
+    WorkloadSpec(
+        name="html",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=11,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=742,
+        phases=10,
+        phase_local=0.46,
+        retouch_prob=0.45,
+        app_dram_per_alloc=24,
+        large_every=220,
+    ),
+    WorkloadSpec(
+        name="ir",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=12,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=2565,
+        phases=4,
+        phase_local=0.32,
+        large_every=60,
+        large_lifetime=120,
+        app_dram_per_alloc=96,
+    ),
+    WorkloadSpec(
+        name="bfs",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=13,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1635,
+        phases=6,
+        phase_local=0.42,
+        app_dram_per_alloc=56,
+    ),
+    WorkloadSpec(
+        name="dna",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=14,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1959,
+        phases=5,
+        phase_local=0.32,
+        large_every=70,
+        app_dram_per_alloc=72,
+    ),
+    WorkloadSpec(
+        name="aes",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=15,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1032,
+        phases=1,
+        lifetime=LifetimeProfile(short=0.94, medium=0.04),
+        large_every=None,
+        app_dram_per_alloc=10,
+        retouch_prob=0.5,
+    ),
+    WorkloadSpec(
+        name="fr",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=16,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=2521,
+        phases=4,
+        phase_local=0.32,
+        large_every=90,
+        app_dram_per_alloc=64,
+    ),
+    WorkloadSpec(
+        name="jl",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=17,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1691,
+        phases=1,
+        lifetime=LifetimeProfile(short=0.88, medium=0.07),
+        large_every=None,
+        app_dram_per_alloc=16,
+    ),
+    WorkloadSpec(
+        name="jd",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=18,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=2072,
+        phases=2,
+        phase_local=0.32,
+        app_dram_per_alloc=32,
+    ),
+    WorkloadSpec(
+        name="mk",
+        language="python",
+        large_max=PY_LARGE_MAX,
+        startup_fraction=0.32,
+        startup_size_multiplier=1.7,
+        seed=19,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1508,
+        phases=8,
+        phase_local=0.42,
+        app_dram_per_alloc=40,
+    ),
+]
+
+CPP_FUNCTIONS = [
+    WorkloadSpec(
+        name="US",
+        language="cpp",
+        small_fraction=0.98,
+        warm_heap=True,
+        seed=21,
+        num_allocs=36_000,
+        compute_per_alloc=365,
+        phases=2,
+        phase_local=0.06,
+        large_every=400,
+        app_dram_per_alloc=20,
+    ),
+    WorkloadSpec(
+        name="UM",
+        language="cpp",
+        small_fraction=0.98,
+        warm_heap=True,
+        seed=22,
+        num_allocs=36_000,
+        compute_per_alloc=275,
+        phases=2,
+        phase_local=0.05,
+        retouch_prob=0.55,
+        large_every=400,
+        app_dram_per_alloc=14,
+    ),
+    WorkloadSpec(
+        name="CM",
+        language="cpp",
+        small_fraction=0.98,
+        warm_heap=True,
+        seed=23,
+        num_allocs=36_000,
+        compute_per_alloc=284,
+        phases=2,
+        phase_local=0.05,
+        retouch_prob=0.6,
+        large_every=300,
+        app_dram_per_alloc=12,
+    ),
+    WorkloadSpec(
+        name="MI",
+        language="cpp",
+        small_fraction=0.98,
+        warm_heap=True,
+        seed=24,
+        num_allocs=36_000,
+        compute_per_alloc=402,
+        phases=2,
+        phase_local=0.06,
+        large_every=400,
+        app_dram_per_alloc=20,
+    ),
+]
+
+GO_FUNCTIONS = [
+    WorkloadSpec(
+        name="html-go",
+        language="go",
+        size_jitter=0.0,  # Go quantizes to fixed size classes
+        startup_fraction=0.30,
+        seed=31,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1098,
+        lifetime=LifetimeProfile(short=0.06, medium=0.07),
+        app_dram_per_alloc=28,
+        large_every=300,
+    ),
+    WorkloadSpec(
+        name="bfs-go",
+        language="go",
+        size_jitter=0.0,  # Go quantizes to fixed size classes
+        startup_fraction=0.30,
+        seed=32,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1445,
+        lifetime=LifetimeProfile(short=0.06, medium=0.08),
+        app_dram_per_alloc=48,
+    ),
+    WorkloadSpec(
+        name="aes-go",
+        language="go",
+        size_jitter=0.0,  # Go quantizes to fixed size classes
+        startup_fraction=0.30,
+        seed=33,
+        num_allocs=FUNC_ALLOCS,
+        compute_per_alloc=1745,
+        lifetime=LifetimeProfile(short=0.10, medium=0.10),
+        large_every=None,
+        app_dram_per_alloc=16,
+    ),
+]
+
+ALL_FUNCTIONS = PYTHON_FUNCTIONS + CPP_FUNCTIONS + GO_FUNCTIONS

@@ -1,0 +1,35 @@
+"""Workload registry: name → spec lookup used by the harness and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.dataproc import ALL_DATAPROC
+from repro.workloads.functions import ALL_FUNCTIONS
+from repro.workloads.platform_ops import ALL_PLATFORM
+from repro.workloads.synth import WorkloadSpec
+
+FUNCTION_WORKLOADS: List[WorkloadSpec] = list(ALL_FUNCTIONS)
+DATAPROC_WORKLOADS: List[WorkloadSpec] = list(ALL_DATAPROC)
+PLATFORM_WORKLOADS: List[WorkloadSpec] = list(ALL_PLATFORM)
+
+_ALL: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in FUNCTION_WORKLOADS + DATAPROC_WORKLOADS + PLATFORM_WORKLOADS
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look a workload up by its paper name (e.g. ``"html"``, ``"Redis"``,
+    ``"deploy"``). Raises KeyError with the available names on a miss."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_ALL)}"
+        ) from None
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """Every workload in paper order (functions, data proc, platform)."""
+    return FUNCTION_WORKLOADS + DATAPROC_WORKLOADS + PLATFORM_WORKLOADS

@@ -1,0 +1,98 @@
+"""Trace event model.
+
+A workload is a deterministic sequence of four event kinds:
+
+* :class:`Alloc` — an allocation request (``obj`` is a trace-local id).
+* :class:`Free` — the object dies. For GC'd runtimes this marks the point
+  of unreachability; the allocator decides when reclamation happens.
+* :class:`Touch` — the application accesses ``lines`` cache lines of the
+  object starting at ``line_offset`` (drives faults, caches, and bypass).
+* :class:`Compute` — application work between memory-management activity:
+  cycles plus statistically-modeled DRAM traffic.
+
+Traces are replayed against a baseline or Memento system by the harness;
+they are also analyzed directly for the characterization figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Union
+
+
+@dataclass(frozen=True)
+class Alloc:
+    obj: int
+    size: int
+
+
+@dataclass(frozen=True)
+class Free:
+    obj: int
+
+
+@dataclass(frozen=True)
+class Touch:
+    obj: int
+    lines: int = 1
+    line_offset: int = 0
+    write: bool = True
+
+
+@dataclass(frozen=True)
+class Compute:
+    cycles: int
+    dram_bytes: int = 0
+
+
+Event = Union[Alloc, Free, Touch, Compute]
+
+
+@dataclass
+class Trace:
+    """A named, replayable event sequence with summary metadata."""
+
+    name: str
+    language: str
+    category: str  # "function" | "dataproc" | "platform"
+    events: List[Event] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def alloc_count(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, Alloc))
+
+    @property
+    def free_count(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, Free))
+
+    @property
+    def total_alloc_bytes(self) -> int:
+        return sum(e.size for e in self.events if isinstance(e, Alloc))
+
+    def allocs(self) -> Iterator[Alloc]:
+        return (e for e in self.events if isinstance(e, Alloc))
+
+    def validate(self) -> None:
+        """Structural sanity: frees reference live objects exactly once,
+        touches reference live objects, sizes are positive."""
+        live = set()
+        for event in self.events:
+            if isinstance(event, Alloc):
+                if event.size <= 0:
+                    raise ValueError(f"non-positive size in {event}")
+                if event.obj in live:
+                    raise ValueError(f"duplicate allocation id {event.obj}")
+                live.add(event.obj)
+            elif isinstance(event, Free):
+                if event.obj not in live:
+                    raise ValueError(f"free of dead/unknown id {event.obj}")
+                live.discard(event.obj)
+            elif isinstance(event, Touch):
+                if event.obj not in live:
+                    raise ValueError(f"touch of dead/unknown id {event.obj}")

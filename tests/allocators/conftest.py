@@ -1,0 +1,14 @@
+"""Shared fixtures for allocator tests."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def system():
+    machine = Machine()
+    kernel = Kernel(machine)
+    process = kernel.create_process()
+    return machine, kernel, process

@@ -1,0 +1,91 @@
+"""Tests for shared allocator machinery (size classes, routing, errors)."""
+
+import pytest
+
+from repro.allocators.base import (
+    SMALL_THRESHOLD,
+    DoubleFreeError,
+    align8,
+    size_class_index,
+)
+from repro.allocators.pymalloc import PymallocAllocator
+
+
+def test_align8_rounds_up():
+    assert align8(1) == 8
+    assert align8(8) == 8
+    assert align8(9) == 16
+    assert align8(511) == 512
+
+
+def test_align8_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        align8(0)
+    with pytest.raises(ValueError):
+        align8(-5)
+
+
+def test_size_class_index_covers_64_classes():
+    assert size_class_index(1) == 0
+    assert size_class_index(8) == 0
+    assert size_class_index(9) == 1
+    assert size_class_index(512) == 63
+
+
+def test_size_class_index_rejects_large():
+    with pytest.raises(ValueError):
+        size_class_index(SMALL_THRESHOLD + 1)
+
+
+def test_large_requests_route_to_large_path(system):
+    machine, kernel, process = system
+    alloc = PymallocAllocator(kernel, process)
+    addr = alloc.malloc(machine.core, 4096)
+    assert alloc.live[addr].size_class == -1
+    assert machine.stats["alloc.glibc_large.allocs"] == 1
+    assert machine.stats["alloc.pymalloc.allocs"] == 0  # small path untouched
+    alloc.free(machine.core, addr)
+    assert addr not in alloc.live
+
+
+def test_double_free_detected(system):
+    machine, kernel, process = system
+    alloc = PymallocAllocator(kernel, process)
+    addr = alloc.malloc(machine.core, 64)
+    alloc.free(machine.core, addr)
+    with pytest.raises(DoubleFreeError):
+        alloc.free(machine.core, addr)
+
+
+def test_free_of_never_allocated_detected(system):
+    machine, kernel, process = system
+    alloc = PymallocAllocator(kernel, process)
+    with pytest.raises(DoubleFreeError):
+        alloc.free(machine.core, 0xABCDEF)
+
+
+def test_zero_size_malloc_rejected(system):
+    machine, kernel, process = system
+    alloc = PymallocAllocator(kernel, process)
+    with pytest.raises(ValueError):
+        alloc.malloc(machine.core, 0)
+
+
+def test_live_bytes_tracks_outstanding(system):
+    machine, kernel, process = system
+    alloc = PymallocAllocator(kernel, process)
+    a = alloc.malloc(machine.core, 100)
+    b = alloc.malloc(machine.core, 50)
+    assert alloc.live_bytes == 150
+    alloc.free(machine.core, a)
+    assert alloc.live_bytes == 50
+    alloc.free(machine.core, b)
+    assert alloc.live_bytes == 0
+
+
+def test_teardown_clears_registry(system):
+    machine, kernel, process = system
+    alloc = PymallocAllocator(kernel, process)
+    alloc.malloc(machine.core, 24)
+    alloc.teardown(machine.core)
+    assert alloc.live_bytes == 0

@@ -1,0 +1,179 @@
+"""Tests for the jemalloc and Go allocator models."""
+
+import pytest
+
+from repro.allocators.goalloc import (
+    GcPolicy,
+    GoAllocator,
+    HEAP_ARENA_BYTES,
+    SPAN_BYTES,
+)
+from repro.allocators.jemalloc import (
+    CHUNK_BYTES,
+    JemallocAllocator,
+    PREFAULT_PAGES,
+)
+
+
+# ---------------------------------------------------------------- jemalloc
+
+
+def test_jemalloc_init_prefaults(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    alloc.initialize(machine.core)
+    assert process.user_pages_live == PREFAULT_PAGES
+    assert machine.stats["kernel.fault.faults"] == PREFAULT_PAGES
+
+
+def test_jemalloc_init_is_idempotent(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    alloc.initialize(machine.core)
+    alloc.initialize(machine.core)
+    assert machine.stats["alloc.jemalloc.prefaulted_pages"] == PREFAULT_PAGES
+
+
+def test_jemalloc_first_malloc_triggers_init(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    alloc.malloc(machine.core, 32)
+    assert machine.stats["kernel.syscall.mmap_bytes"] == CHUNK_BYTES
+
+
+def test_jemalloc_roundtrip_and_reuse(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    a = alloc.malloc(machine.core, 64)
+    alloc.malloc(machine.core, 64)
+    alloc.free(machine.core, a)
+    assert alloc.malloc(machine.core, 64) == a
+
+
+def test_jemalloc_empty_run_retires_without_munmap(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    a = alloc.malloc(machine.core, 128)
+    alloc.free(machine.core, a)
+    assert machine.stats["alloc.jemalloc.munmaps"] == 0
+    # Retired run base is reused by a different size class.
+    b = alloc.malloc(machine.core, 256)
+    assert b == a
+
+
+def test_jemalloc_utilization(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    alloc.malloc(machine.core, 8)
+    assert 0 < alloc.utilization() < 0.05  # one object in a 16 KB run
+
+
+def test_jemalloc_keeps_chunk_mapped(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    addr = alloc.malloc(machine.core, 16)
+    alloc.free(machine.core, addr)
+    assert alloc.mapped_bytes >= CHUNK_BYTES
+
+
+# ---------------------------------------------------------------- goalloc
+
+
+def test_go_maps_large_heap_arena(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)
+    alloc.malloc(machine.core, 24)
+    assert machine.stats["kernel.syscall.mmap_bytes"] == HEAP_ARENA_BYTES
+
+
+def test_go_free_defers_to_gc(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)
+    addr = alloc.malloc(machine.core, 24)
+    alloc.free(machine.core, addr)
+    assert alloc.garbage_objects == 1
+    assert machine.core.cycles_in("user_free") == 0  # nothing swept yet
+
+
+def test_go_gc_reclaims_garbage(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)
+    addrs = [alloc.malloc(machine.core, 64) for _ in range(10)]
+    for addr in addrs[:6]:
+        alloc.free(machine.core, addr)
+    reclaimed = alloc.collect(machine.core)
+    assert reclaimed == 6
+    assert alloc.garbage_objects == 0
+    assert machine.core.cycles_in("user_free") > 0
+
+
+def test_go_gc_slot_reuse_after_collect(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)
+    a = alloc.malloc(machine.core, 48)
+    alloc.malloc(machine.core, 48)
+    alloc.free(machine.core, a)
+    alloc.collect(machine.core)
+    assert alloc.malloc(machine.core, 48) == a
+
+
+def test_go_gc_triggers_when_heap_doubles(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(
+        kernel, process, gc=GcPolicy(min_heap_bytes=16 * 1024)
+    )
+    for _ in range(40):
+        addr = alloc.malloc(machine.core, 512)
+        alloc.free(machine.core, addr)
+    assert alloc.gc_runs >= 1
+    assert machine.stats["alloc.goalloc.gc_reclaimed"] > 0
+
+
+def test_go_short_function_never_collects(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)  # default 4 MB floor
+    for _ in range(100):
+        addr = alloc.malloc(machine.core, 64)
+        alloc.free(machine.core, addr)
+    assert alloc.gc_runs == 0
+
+
+def test_go_spans_are_size_segregated(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)
+    a = alloc.malloc(machine.core, 16)
+    b = alloc.malloc(machine.core, 256)
+    assert a // SPAN_BYTES != b // SPAN_BYTES
+
+
+def test_go_teardown_drops_garbage(system):
+    machine, kernel, process = system
+    alloc = GoAllocator(kernel, process)
+    addr = alloc.malloc(machine.core, 32)
+    alloc.free(machine.core, addr)
+    alloc.teardown(machine.core)
+    assert alloc.garbage_objects == 0
+
+
+# ---------------------------------------------------------------- large path
+
+
+def test_huge_allocation_mmaps_directly(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    alloc.initialize(machine.core)
+    before = machine.stats["kernel.syscall.mmap_calls"]
+    addr = alloc.malloc(machine.core, 256 * 1024)
+    assert machine.stats["kernel.syscall.mmap_calls"] == before + 1
+    before_unmap = machine.stats["kernel.syscall.munmap_calls"]
+    alloc.free(machine.core, addr)
+    assert machine.stats["kernel.syscall.munmap_calls"] == before_unmap + 1
+
+
+def test_midsize_allocation_uses_heap_bins(system):
+    machine, kernel, process = system
+    alloc = JemallocAllocator(kernel, process)
+    a = alloc.malloc(machine.core, 2048)
+    alloc.free(machine.core, a)
+    b = alloc.malloc(machine.core, 2048)
+    assert b == a  # bin reuse

@@ -1,0 +1,174 @@
+"""Tests for characterization, pricing, and report rendering."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.characterize import (
+    joint_size_lifetime,
+    lifetime_bin_index,
+    lifetime_distribution,
+    malloc_free_distances,
+    size_bin_index,
+    size_distribution,
+    small_fraction,
+)
+from repro.analysis.pricing import PricingModel
+from repro.analysis.report import (
+    paper_vs_measured,
+    render_grouped,
+    render_series,
+    render_table,
+)
+from repro.harness.experiment import run_workload
+from repro.workloads.registry import get_workload
+from repro.workloads.synth import generate_trace
+from repro.workloads.trace import Alloc, Free, Trace
+
+
+def small_trace(name="html", allocs=3_000):
+    return generate_trace(
+        replace(get_workload(name), num_allocs=allocs).resolved()
+    )
+
+
+# ---------------------------------------------------------------- bin math
+
+
+def test_size_bins():
+    assert size_bin_index(1) == 0
+    assert size_bin_index(512) == 0
+    assert size_bin_index(513) == 1
+    assert size_bin_index(4096) == 7
+    assert size_bin_index(5000) == 8
+
+
+def test_lifetime_bins():
+    assert lifetime_bin_index(1) == 0
+    assert lifetime_bin_index(16) == 0
+    assert lifetime_bin_index(17) == 1
+    assert lifetime_bin_index(256) == 15
+    assert lifetime_bin_index(257) == 16
+    assert lifetime_bin_index(None) == 16
+
+
+# ------------------------------------------------------------ distributions
+
+
+def test_size_distribution_sums_to_one():
+    dist = size_distribution([small_trace()])
+    assert sum(dist) == pytest.approx(1.0)
+
+
+def test_most_allocations_small():
+    # Fig. 2: ~93% of allocations are <= 512 B.
+    assert small_fraction([small_trace()]) > 0.85
+
+
+def test_lifetime_distribution_sums_to_one():
+    dist = lifetime_distribution([small_trace()])
+    assert sum(dist) == pytest.approx(1.0)
+
+
+def test_malloc_free_distance_semantics():
+    trace = Trace("t", "python", "function", [
+        Alloc(0, 16),
+        Alloc(1, 16),
+        Alloc(2, 16),
+        Free(0),          # freed after 2 more same-class allocs
+        Alloc(3, 64),     # different class, must not count
+        Alloc(4, 16),
+        Free(4),          # freed immediately -> distance clamps to >= 1
+    ])
+    records = dict(enumerate(d for _, d in malloc_free_distances(trace)))
+    assert records[0] == 2
+    assert records[1] is None  # never freed
+    assert records[3] is None
+    assert records[4] == 1
+
+
+def test_cpp_is_short_lived_python_bimodal():
+    cpp = lifetime_distribution([small_trace("US")])
+    python = lifetime_distribution([small_trace("html")])
+    assert cpp[0] > 0.6  # short bucket dominates for C++
+    assert python[16] > 0.2  # long-lived mass for Python (startup state)
+
+
+def test_go_is_long_lived():
+    go = lifetime_distribution([small_trace("html-go")])
+    assert go[16] > 0.6
+
+
+def test_joint_distribution_table1():
+    cells = joint_size_lifetime([small_trace(), small_trace("US")])
+    assert sum(cells.values()) == pytest.approx(1.0)
+    # Small+short is the dominant cell (61% in Table 1).
+    assert cells["small_short"] == max(cells.values())
+    assert cells["large_long"] < 0.1
+
+
+def test_empty_traces_rejected():
+    empty = Trace("e", "python", "function", [])
+    with pytest.raises(ValueError):
+        size_distribution([empty])
+
+
+# ------------------------------------------------------------------ pricing
+
+
+@pytest.fixture(scope="module")
+def priced():
+    spec = replace(get_workload("aes"), num_allocs=10_000)
+    return PricingModel(), run_workload(spec)
+
+
+def test_memento_cheaper(priced):
+    pricing, result = priced
+    assert pricing.normalized_runtime_pricing(result) < 1.0
+
+
+def test_fee_dilutes_savings(priced):
+    pricing, result = priced
+    runtime = pricing.normalized_runtime_pricing(result)
+    end_to_end = pricing.normalized_invocation_pricing(result)
+    assert runtime <= end_to_end <= 1.0
+
+
+def test_cost_scales_with_duration(priced):
+    pricing, result = priced
+    assert pricing.runtime_cost(result.baseline) > 0
+    assert pricing.invocation_cost(result.baseline) > pricing.runtime_cost(
+        result.baseline
+    )
+
+
+# ------------------------------------------------------------------- report
+
+
+def test_render_table_basic():
+    out = render_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+    assert "T" in out and "a" in out
+    assert "2.500" in out
+
+
+def test_render_series_bars():
+    out = render_series(["one", "two"], [1.0, 0.5], title="S")
+    assert out.count("#") > 0
+    assert "one" in out
+
+
+def test_render_series_length_mismatch():
+    with pytest.raises(ValueError):
+        render_series(["a"], [1.0, 2.0])
+
+
+def test_render_grouped_columns():
+    out = render_grouped(
+        ["w1", "w2"], {"user": [0.5, 0.6], "kernel": [0.7, 0.8]}
+    )
+    assert "user" in out and "kernel" in out and "w1" in out
+
+
+def test_paper_vs_measured_format():
+    out = paper_vs_measured([["speedup", 1.16, 1.15]], "Fig. 8")
+    assert "paper" in out and "measured" in out

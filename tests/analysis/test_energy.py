@@ -1,0 +1,62 @@
+"""Tests for the energy model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.energy import EnergyModel
+from repro.harness.experiment import run_workload
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def energy_and_result():
+    spec = replace(get_workload("aes"), num_allocs=6_000)
+    return EnergyModel(), run_workload(spec)
+
+
+def test_constants_sane():
+    model = EnergyModel()
+    # 4 W at 3 GHz: ~1.3 nJ per cycle.
+    assert model.core_joules_per_cycle == pytest.approx(1.33e-9, rel=0.01)
+    # HOT access: sub-picojoule (1.32 mW, 2-cycle access).
+    assert model.hot_joules_per_access < 1e-12
+    assert model.aac_joules_per_access < model.hot_joules_per_access
+
+
+def test_baseline_has_no_structure_energy(energy_and_result):
+    model, result = energy_and_result
+    assert model.structure_energy(result.baseline) == 0.0
+    assert model.structure_energy(result.memento) > 0.0
+
+
+def test_memento_saves_mm_energy(energy_and_result):
+    model, result = energy_and_result
+    report = model.report(result)
+    assert report["mm_energy_reduction"] > 0.5
+    assert report["memento_mm_j"] < report["baseline_mm_j"]
+
+
+def test_structure_energy_negligible_vs_savings(energy_and_result):
+    """Table 3's 'minimal hardware cost', quantified: the HOT+AAC spend
+    well under 1% of the energy they save."""
+    model, result = energy_and_result
+    report = model.report(result)
+    assert report["structure_share_of_savings"] < 0.01
+
+
+def test_dram_energy_tracks_traffic(energy_and_result):
+    model, result = energy_and_result
+    assert model.dram_energy(result.baseline) > model.dram_energy(
+        result.memento
+    )
+    report = model.report(result)
+    assert report["dram_energy_reduction"] > 0.0
+
+
+def test_mm_energy_composition(energy_and_result):
+    model, result = energy_and_result
+    mem = result.memento
+    assert model.mm_energy(mem) == pytest.approx(
+        model.mm_core_energy(mem) + model.structure_energy(mem)
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for Memento core tests."""
+
+import pytest
+
+from repro.core.config import MementoConfig
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.core.runtime import MementoRuntime
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def system():
+    machine = Machine()
+    kernel = Kernel(machine)
+    process = kernel.create_process()
+    return machine, kernel, process
+
+
+@pytest.fixture
+def memento(system):
+    machine, kernel, process = system
+    config = MementoConfig()
+    page_allocator = HardwarePageAllocator(kernel, config)
+    runtime = MementoRuntime(
+        kernel, process, machine.core, "python", page_allocator, config
+    )
+    return machine, kernel, process, runtime
+
+
+def make_runtime(system, language="python", config=None):
+    machine, kernel, process = system
+    config = config or MementoConfig()
+    page_allocator = HardwarePageAllocator(kernel, config)
+    return MementoRuntime(
+        kernel, process, machine.core, language, page_allocator, config
+    )

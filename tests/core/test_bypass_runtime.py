@@ -1,0 +1,182 @@
+"""Tests for the main-memory bypass engine and the Memento runtime."""
+
+import pytest
+
+from repro.core.bypass import COUNTER_MAX
+from repro.core.config import MementoConfig
+from repro.core.errors import MementoDoubleFreeError, NotAMementoAddressError
+from repro.sim.cache import MemLevel
+
+from tests.core.conftest import make_runtime
+
+
+# ---------------------------------------------------------------- bypass
+
+
+def test_first_touch_bypasses_dram(memento):
+    machine, *_, runtime = memento
+    addr = runtime.malloc(64)
+    result = runtime.access_object(addr)
+    assert result.level == MemLevel.LLC  # instantiated, not fetched
+    assert machine.stats["memento.bypass.bypassed_lines"] == 1
+    assert machine.stats["dram.read_bytes"] == 0
+
+
+def test_second_touch_is_a_cache_hit(memento):
+    machine, *_, runtime = memento
+    addr = runtime.malloc(64)
+    runtime.access_object(addr)
+    result = runtime.access_object(addr)
+    assert result.level == MemLevel.L1
+
+
+def test_counter_advances_with_touches(memento):
+    *_, runtime = memento
+    a = runtime.malloc(512)
+    runtime.access_object(a)
+    header = runtime.context.object_allocator.header_of(a)
+    assert header.bypass_counter == header.body_line_index(a) + 1
+
+
+def test_lines_below_counter_do_not_bypass(memento):
+    machine, *_, runtime = memento
+    a = runtime.malloc(64)
+    b = runtime.malloc(64)
+    runtime.access_object(b)  # advances counter past a's line... no:
+    # b's line > a's line, so touching b first covers a's index region.
+    runtime.access_object(a)
+    assert machine.stats["memento.bypass.regular_lines"] >= 1
+
+
+def test_counter_decrement_on_free_allows_rebypass(memento):
+    machine, *_, runtime = memento
+    a = runtime.malloc(512)  # one object = 8 lines in class 63
+    runtime.access_object(a)
+    runtime.access_object(a + 448)  # touch the object's last line too
+    runtime.free(a)
+    b = runtime.malloc(512)
+    assert b == a  # slot reuse
+    runtime.access_object(b)
+    assert machine.stats["memento.bypass.counter_decrements"] == 1
+
+
+def test_bypass_disabled_fetches_from_dram(system):
+    machine, kernel, process = system
+    runtime = make_runtime(system, config=MementoConfig(bypass_enabled=False))
+    addr = runtime.malloc(64)
+    result = runtime.access_object(addr)
+    assert result.level == MemLevel.DRAM
+    assert machine.stats["memento.bypass.bypassed_lines"] == 0
+
+
+def test_counter_saturates_at_11_bits(memento):
+    *_, runtime = memento
+    addr = runtime.malloc(8)
+    header = runtime.context.object_allocator.header_of(addr)
+    header.bypass_counter = COUNTER_MAX
+    runtime.access_object(addr)
+    assert header.bypass_counter == COUNTER_MAX
+
+
+def test_access_outside_region_is_regular(memento):
+    machine, *_, runtime = memento
+    big = runtime.malloc(4096)  # large path, outside the region
+    result = runtime.access_object(big)
+    assert result.level == MemLevel.DRAM
+
+
+# ---------------------------------------------------------------- runtime
+
+
+def test_malloc_routes_by_size(memento):
+    machine, *_, runtime = memento
+    small = runtime.malloc(512)
+    large = runtime.malloc(513)
+    assert runtime.context.region.contains(small)
+    assert not runtime.context.region.contains(large)
+    assert machine.stats["memento.runtime.large_allocs"] == 1
+
+
+def test_free_routes_by_region_membership(memento):
+    machine, *_, runtime = memento
+    small = runtime.malloc(100)
+    large = runtime.malloc(10_000)
+    runtime.free(small)
+    runtime.free(large)
+    assert machine.stats["memento.runtime.large_frees"] == 1
+    assert machine.stats["memento.obj.frees"] == 1
+
+
+def test_free_of_unknown_address_raises(memento):
+    *_, runtime = memento
+    with pytest.raises(NotAMementoAddressError):
+        runtime.free(0xDEADBEEF)
+
+
+def test_wrapper_cost_charged(memento):
+    machine, *_, runtime = memento
+    runtime.malloc(24)
+    assert machine.core.cycles_in("hw_alloc") >= runtime.costs.wrapper
+
+
+def test_go_frees_deferred_until_collect(system):
+    machine, kernel, process = system
+    runtime = make_runtime(system, language="go")
+    addr = runtime.malloc(64)
+    runtime.free(addr)
+    assert machine.stats["memento.obj.frees"] == 0  # deferred
+    flushed = runtime.collect()
+    assert flushed == 1
+    assert machine.stats["memento.obj.frees"] == 1
+
+
+def test_go_gc_triggers_on_heap_growth(system):
+    machine, kernel, process = system
+    runtime = make_runtime(system, language="go")
+    runtime._gc.min_heap_bytes = 8 * 1024
+    runtime._gc._goal = 8 * 1024
+    for _ in range(40):
+        runtime.free(runtime.malloc(512))
+    assert machine.stats["memento.runtime.gc_flushed_frees"] > 0
+
+
+def test_go_double_free_detected_at_collect(system):
+    machine, kernel, process = system
+    runtime = make_runtime(system, language="go")
+    addr = runtime.malloc(64)
+    runtime.free(addr)
+    runtime.free(addr)  # both deferred
+    with pytest.raises(MementoDoubleFreeError):
+        runtime.collect()
+
+
+def test_teardown_then_kernel_exit_releases_all(memento):
+    machine, kernel, process, runtime = memento
+    for _ in range(100):
+        runtime.access_object(runtime.malloc(128))
+    runtime.teardown()
+    kernel.exit_process(machine.core, process)
+    assert machine.frames.live("user") == 0
+    assert runtime.context.released
+
+
+def test_context_switch_flushes_hot_and_reloads(memento):
+    machine, kernel, process, runtime = memento
+    runtime.malloc(24)
+    other = kernel.create_process()
+    kernel._running = process
+    kernel.context_switch(machine.core, other)
+    allocator = runtime.context.object_allocator
+    assert allocator.hot.valid_entries == 0
+    # Next allocation reloads the parked arena from the available list.
+    runtime.malloc(24)
+    assert machine.stats["memento.page.arenas_allocated"] == 1
+
+
+def test_live_small_objects_counter(memento):
+    *_, runtime = memento
+    a = runtime.malloc(16)
+    runtime.malloc(16)
+    assert runtime.live_small_objects == 2
+    runtime.free(a)
+    assert runtime.live_small_objects == 1

@@ -1,0 +1,118 @@
+"""Tests for the §4 ephemeral-aware GC extension."""
+
+import pytest
+
+from repro.core.config import MementoConfig
+from repro.core.ephemeral_gc import EphemeralAwareGc, EphemeralGcConfig
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.core.runtime import MementoRuntime
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+
+
+def make_gc(**cfg):
+    machine = Machine()
+    kernel = Kernel(machine)
+    process = kernel.create_process()
+    config = MementoConfig()
+    runtime = MementoRuntime(
+        kernel, process, machine.core, "cpp",
+        HardwarePageAllocator(kernel, config), config,
+    )
+    gc = EphemeralAwareGc(runtime, EphemeralGcConfig(**cfg))
+    return machine, runtime, gc
+
+
+def test_unknown_death_rejected():
+    machine, runtime, gc = make_gc()
+    with pytest.raises(ValueError):
+        gc.on_dead(0x1234)
+
+
+def test_classes_start_optimistically_ephemeral():
+    machine, runtime, gc = make_gc()
+    assert gc.is_ephemeral(3)
+
+
+def test_ephemeral_class_learned_from_death_ratio():
+    machine, runtime, gc = make_gc(
+        warmup_allocs=10, proactive_threshold=1_000_000
+    )
+    # Class 1 (16 B): everything dies.
+    for _ in range(50):
+        gc.on_dead(gc.malloc(16))
+    # Class 7 (64 B): nothing dies.
+    for _ in range(50):
+        gc.malloc(64)
+    assert gc.is_ephemeral(1)
+    assert not gc.is_ephemeral(7)
+    assert gc.ephemeral_classes() == [1]
+
+
+def test_proactive_collection_triggers_at_threshold():
+    machine, runtime, gc = make_gc(proactive_threshold=8)
+    for _ in range(8):
+        gc.on_dead(gc.malloc(32))
+    assert machine.stats["memento.egc.proactive_collections"] == 1
+    assert machine.stats["memento.egc.proactive_frees"] == 8
+    assert gc.pending_dead == 0
+    assert runtime.live_small_objects == 0
+
+
+def test_non_ephemeral_garbage_waits_for_deferred_pacing():
+    machine, runtime, gc = make_gc(
+        warmup_allocs=10,
+        proactive_threshold=4,
+        deferred_threshold_bytes=1 << 30,
+    )
+    # Teach the collector class 7 is long-lived.
+    keep = [gc.malloc(64) for _ in range(50)]
+    # A few late deaths in that class stay pending (no proactive free).
+    gc.on_dead(keep[0])
+    gc.on_dead(keep[1])
+    assert gc.pending_dead == 2
+    assert machine.stats["memento.egc.proactive_frees"] == 0
+    assert gc.collect_deferred() == 2
+
+
+def test_deferred_collection_triggers_on_bytes():
+    machine, runtime, gc = make_gc(
+        warmup_allocs=10,
+        proactive_threshold=10_000,
+        ephemeral_death_ratio=2.0,  # nothing classifies as ephemeral
+        deferred_threshold_bytes=512,
+    )
+    for _ in range(20):
+        gc.on_dead(gc.malloc(64))
+    assert machine.stats["memento.egc.deferred_collections"] >= 1
+
+
+def test_collect_all_drains_everything():
+    machine, runtime, gc = make_gc(
+        proactive_threshold=1_000, deferred_threshold_bytes=1 << 30
+    )
+    for _ in range(30):
+        gc.on_dead(gc.malloc(24))
+    assert gc.pending_dead == 30
+    assert gc.collect_all() == 30
+    assert gc.pending_dead == 0
+
+
+def test_live_tracked_accounting():
+    machine, runtime, gc = make_gc(proactive_threshold=1_000)
+    addrs = [gc.malloc(40) for _ in range(10)]
+    assert gc.live_tracked == 10
+    for addr in addrs[:4]:
+        gc.on_dead(addr)
+    assert gc.live_tracked == 6
+
+
+def test_proactive_frees_hit_the_hot():
+    """The point of the extension: proactive frees land while arenas are
+    HOT-resident, so they hit; the same deaths deferred until much later
+    (after the class has cycled arenas) miss more."""
+    machine, runtime, gc = make_gc(proactive_threshold=16)
+    for _ in range(512):
+        gc.on_dead(gc.malloc(16))
+    allocator = runtime.context.object_allocator
+    assert allocator.hot.free_hit_rate() > 0.95

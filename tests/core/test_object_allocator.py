@@ -1,0 +1,221 @@
+"""Tests for the hardware object allocator (Fig. 6 state machines)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MementoConfig
+from repro.core.errors import MementoDoubleFreeError
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.core.runtime import MementoRuntime
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+
+from tests.core.conftest import make_runtime
+
+
+def oa(runtime):
+    return runtime.context.object_allocator
+
+
+def test_alloc_returns_in_region_address(memento):
+    machine, kernel, process, runtime = memento
+    addr = oa(runtime).obj_alloc(24)
+    assert runtime.context.region.contains(addr)
+
+
+def test_alloc_size_bounds(memento):
+    *_, runtime = memento
+    with pytest.raises(ValueError):
+        oa(runtime).obj_alloc(0)
+    with pytest.raises(ValueError):
+        oa(runtime).obj_alloc(513)
+    assert oa(runtime).obj_alloc(512)  # boundary is fine
+    assert oa(runtime).obj_alloc(1)
+
+
+def test_allocations_are_distinct_and_spaced(memento):
+    *_, runtime = memento
+    addrs = [oa(runtime).obj_alloc(40) for _ in range(300)]
+    assert len(set(addrs)) == 300
+    in_arena = sorted(addrs)[:2]
+    assert in_arena[1] - in_arena[0] == 40
+
+
+def test_first_alloc_is_a_hot_miss_then_hits(memento):
+    machine, *_, runtime = memento
+    oa(runtime).obj_alloc(16)
+    assert machine.stats["memento.hot.alloc_misses"] == 1
+    oa(runtime).obj_alloc(16)
+    assert machine.stats["memento.hot.alloc_hits"] == 1
+
+
+def test_hot_hit_costs_two_cycles_plus_issue(memento):
+    machine, *_, runtime = memento
+    oa(runtime).obj_alloc(16)
+    before = machine.core.cycles_in("hw_alloc")
+    oa(runtime).obj_alloc(16)
+    assert machine.core.cycles_in("hw_alloc") - before == (
+        machine.costs.isa_issue + machine.costs.hot_hit
+    )
+
+
+def test_arena_exhaustion_requests_new_arena(memento):
+    machine, *_, runtime = memento
+    for _ in range(257):
+        oa(runtime).obj_alloc(8)
+    assert machine.stats["memento.page.arenas_allocated"] == 2
+    assert oa(runtime).live_arenas == 2
+    # The exhausted arena went onto the full list.
+    assert len(oa(runtime).full[0]) == 1
+
+
+def test_free_hit_clears_and_allows_reuse(memento):
+    *_, runtime = memento
+    addr = oa(runtime).obj_alloc(32)
+    oa(runtime).obj_free(addr)
+    assert oa(runtime).obj_alloc(32) == addr
+
+
+def test_double_free_raises(memento):
+    *_, runtime = memento
+    addr = oa(runtime).obj_alloc(32)
+    oa(runtime).obj_free(addr)
+    with pytest.raises(MementoDoubleFreeError):
+        oa(runtime).obj_free(addr)
+
+
+def test_free_of_unallocated_arena_raises(memento):
+    *_, runtime = memento
+    with pytest.raises(MementoDoubleFreeError):
+        oa(runtime).obj_free(runtime.context.region.mrs + 64)
+
+
+def test_free_miss_via_memory_header(memento):
+    machine, *_, runtime = memento
+    first_batch = [oa(runtime).obj_alloc(8) for _ in range(256)]
+    [oa(runtime).obj_alloc(8) for _ in range(10)]  # resident arena is now #2
+    oa(runtime).obj_free(first_batch[0])
+    assert machine.stats["memento.hot.free_misses"] == 1
+    # The full arena moved back to the available list.
+    assert len(oa(runtime).available[0]) == 1
+
+
+def test_free_miss_empty_arena_released(memento):
+    machine, *_, runtime = memento
+    first_batch = [oa(runtime).obj_alloc(8) for _ in range(256)]
+    [oa(runtime).obj_alloc(8) for _ in range(10)]
+    for addr in first_batch:
+        oa(runtime).obj_free(addr)
+    assert machine.stats["memento.obj.arenas_released"] == 1
+    assert machine.stats["memento.page.arenas_freed"] == 1
+    assert oa(runtime).live_arenas == 1
+
+
+def test_arena_va_recycled_after_release(memento):
+    machine, *_, runtime = memento
+    first_batch = [oa(runtime).obj_alloc(8) for _ in range(256)]
+    base_of_first = min(first_batch)
+    [oa(runtime).obj_alloc(8) for _ in range(10)]
+    for addr in first_batch:
+        oa(runtime).obj_free(addr)
+    # Exhaust arena 2 to force a third arena: the freed VA is reused.
+    for _ in range(246):
+        oa(runtime).obj_alloc(8)
+    new_addr = oa(runtime).obj_alloc(8)
+    assert min(new_addr, base_of_first) == base_of_first
+    assert machine.stats["memento.page.arenas_allocated"] == 3
+
+
+def test_eager_refill_hides_switch_cost(system):
+    machine, kernel, process = system
+    runtime = make_runtime(system, config=MementoConfig(eager_refill=True))
+    for _ in range(256):
+        oa(runtime).obj_alloc(8)
+    before = machine.core.cycles_in("hw_alloc")
+    oa(runtime).obj_alloc(8)  # miss, but prefetched
+    visible = machine.core.cycles_in("hw_alloc") - before
+    assert visible == machine.costs.isa_issue + machine.costs.hot_hit
+    assert machine.stats["memento.obj.hidden_miss_cycles"] > 0
+
+
+def test_no_eager_refill_pays_switch_cost(system):
+    machine, kernel, process = system
+    runtime = make_runtime(system, config=MementoConfig(eager_refill=False))
+    for _ in range(256):
+        oa(runtime).obj_alloc(8)
+    before = machine.core.cycles_in("hw_alloc")
+    oa(runtime).obj_alloc(8)
+    visible = machine.core.cycles_in("hw_alloc") - before
+    assert visible > machine.costs.isa_issue + machine.costs.hot_hit
+
+
+def test_flush_for_switch_parks_arenas_on_lists(memento):
+    machine, kernel, process, runtime = memento
+    oa(runtime).obj_alloc(8)
+    oa(runtime).obj_alloc(16)
+    flushed = oa(runtime).flush_for_switch(machine.core)
+    assert flushed == 2
+    assert oa(runtime).hot.valid_entries == 0
+    assert len(oa(runtime).available[0]) == 1
+    assert len(oa(runtime).available[1]) == 1
+    # Allocation after the flush reloads from the available list.
+    oa(runtime).obj_alloc(8)
+    assert machine.stats["memento.page.arenas_allocated"] == 2
+
+
+def test_header_of_maps_objects_not_headers(memento):
+    *_, runtime = memento
+    addr = oa(runtime).obj_alloc(24)
+    header = oa(runtime).header_of(addr)
+    assert header is not None
+    assert oa(runtime).header_of(header.va) is None  # header line
+    assert oa(runtime).header_of(0x1000) is None  # outside region
+
+
+def test_occupancy_fraction(memento):
+    *_, runtime = memento
+    assert oa(runtime).occupancy_fraction() == 1.0
+    addrs = [oa(runtime).obj_alloc(8) for _ in range(128)]
+    assert oa(runtime).occupancy_fraction() == pytest.approx(0.5)
+    for addr in addrs[:64]:
+        oa(runtime).obj_free(addr)
+    assert oa(runtime).occupancy_fraction() == pytest.approx(0.25)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_interleaving_consistency_property(seed):
+    """Random alloc/free sequences: unique addresses, exact live
+    accounting, frees always succeed exactly once."""
+    import random
+
+    rng = random.Random(seed)
+    machine = Machine()
+    kernel = Kernel(machine)
+    process = kernel.create_process()
+    config = MementoConfig()
+    runtime = MementoRuntime(
+        kernel,
+        process,
+        machine.core,
+        "cpp",
+        HardwarePageAllocator(kernel, config),
+        config,
+    )
+    allocator = runtime.context.object_allocator
+    live = set()
+    for _ in range(400):
+        if live and rng.random() < 0.5:
+            addr = rng.choice(sorted(live))
+            live.discard(addr)
+            allocator.obj_free(addr)
+        else:
+            addr = allocator.obj_alloc(rng.randint(1, 512))
+            assert addr not in live
+            live.add(addr)
+    # `headers` holds every live arena (HOT-resident ones included), so
+    # bitmap population must match the harness's live set exactly.
+    assert len(live) == sum(
+        h.live_objects for h in allocator.headers.values()
+    )

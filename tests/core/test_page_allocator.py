@@ -1,0 +1,185 @@
+"""Tests for the hardware page allocator, AAC, pool, and Memento tables."""
+
+import pytest
+
+from repro.core.arena import arena_span_bytes
+from repro.core.config import MementoConfig
+from repro.core.errors import RegionExhaustedError
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.core.region import MementoRegion
+from repro.sim.params import PAGE_SIZE
+
+
+CONFIG = MementoConfig()
+
+
+@pytest.fixture
+def attached(system):
+    machine, kernel, process = system
+    allocator = HardwarePageAllocator(kernel, CONFIG)
+    region = MementoRegion.reserve(0x4000_0000_0000, CONFIG)
+    allocator.attach(process, region)
+    return machine, kernel, process, allocator, region
+
+
+def test_attach_twice_rejected(attached):
+    machine, kernel, process, allocator, region = attached
+    with pytest.raises(ValueError):
+        allocator.attach(process, region)
+
+
+def test_alloc_arena_backs_header_page_only(attached):
+    machine, kernel, process, allocator, region = attached
+    va, header_pfn = allocator.alloc_arena(machine.core, process, 63)
+    state = allocator.state_of(process)
+    assert state.page_table.walk(va >> 12) == header_pfn
+    # Body pages beyond the first are unbacked until first access.
+    assert state.page_table.walk((va >> 12) + 1) is None
+
+
+def test_alloc_arena_bumps_by_span(attached):
+    machine, kernel, process, allocator, region = attached
+    va1, _ = allocator.alloc_arena(machine.core, process, 5)
+    va2, _ = allocator.alloc_arena(machine.core, process, 5)
+    assert va2 - va1 == arena_span_bytes(5, CONFIG)
+    assert va1 == region.class_base(5)
+
+
+def test_different_classes_use_disjoint_subregions(attached):
+    machine, kernel, process, allocator, region = attached
+    va_a, _ = allocator.alloc_arena(machine.core, process, 0)
+    va_b, _ = allocator.alloc_arena(machine.core, process, 63)
+    assert region.size_class_of(va_a) == 0
+    assert region.size_class_of(va_b) == 63
+
+
+def test_pool_replenished_from_os(attached):
+    machine, kernel, process, allocator, region = attached
+    allocator.alloc_arena(machine.core, process, 0)
+    assert machine.stats["memento.page.replenishments"] == 1
+    assert machine.frames.live("memento") > 0
+    assert len(allocator.pool) > 0
+
+
+def test_walk_fills_lazily(attached):
+    machine, kernel, process, allocator, region = attached
+    va, _ = allocator.alloc_arena(machine.core, process, 63)
+    body_page = va + PAGE_SIZE
+    pfn = allocator.handle_walk(machine.core, process, body_page)
+    assert pfn is not None
+    assert machine.stats["memento.page.walks_filled"] == 1
+    # A second walk finds the mapping without filling.
+    assert allocator.handle_walk(machine.core, process, body_page) == pfn
+    assert machine.stats["memento.page.walks_mapped"] == 1
+
+
+def test_walk_records_walker_core(attached):
+    machine, kernel, process, allocator, region = attached
+    va, _ = allocator.alloc_arena(machine.core, process, 10)
+    allocator.handle_walk(machine.core, process, va)
+    assert machine.core.core_id in allocator.state_of(process).walker_cores
+
+
+def test_walk_charges_no_kernel_cycles(attached):
+    machine, kernel, process, allocator, region = attached
+    va, _ = allocator.alloc_arena(machine.core, process, 63)
+    before = machine.core.cycles_in("kernel_page")
+    allocator.handle_walk(machine.core, process, va + PAGE_SIZE)
+    # The lazy fill is pure hardware: no kernel cycles on this path
+    # (replenishment already happened during alloc_arena).
+    assert machine.core.cycles_in("kernel_page") == before
+    assert machine.core.cycles_in("hw_page") > 0
+
+
+def test_free_arena_returns_pages_to_pool(attached):
+    machine, kernel, process, allocator, region = attached
+    va, _ = allocator.alloc_arena(machine.core, process, 63)
+    for page in range(1, 4):
+        allocator.handle_walk(machine.core, process, va + page * PAGE_SIZE)
+    pool_before = len(allocator.pool)
+    freed = allocator.free_arena(machine.core, process, va, 63)
+    assert freed == 4  # header + 3 touched body pages
+    # The 4 leaves return to the pool, plus any page-table nodes emptied
+    # by the teardown.
+    assert len(allocator.pool) >= pool_before + 4
+    assert allocator.state_of(process).page_table.walk(va >> 12) is None
+
+
+def test_free_arena_shoots_down_tlb(attached):
+    machine, kernel, process, allocator, region = attached
+    va, _ = allocator.alloc_arena(machine.core, process, 0)
+    pfn = allocator.handle_walk(machine.core, process, va)
+    machine.core.tlb.insert(va >> 12, pfn)
+    allocator.free_arena(machine.core, process, va, 0)
+    assert machine.core.tlb.lookup(va >> 12) is None
+
+
+def test_freed_span_is_recycled(attached):
+    machine, kernel, process, allocator, region = attached
+    va, _ = allocator.alloc_arena(machine.core, process, 2)
+    allocator.free_arena(machine.core, process, va, 2)
+    va2, _ = allocator.alloc_arena(machine.core, process, 2)
+    assert va2 == va
+
+
+def test_region_exhaustion_raises(system):
+    machine, kernel, process = system
+    tiny = MementoConfig(region_bytes=64 * PAGE_SIZE * 64)
+    allocator = HardwarePageAllocator(kernel, tiny)
+    region = MementoRegion.reserve(0x4000_0000_0000, tiny)
+    allocator.attach(process, region)
+    with pytest.raises(RegionExhaustedError):
+        for _ in range(10_000):
+            allocator.alloc_arena(machine.core, process, 63)
+
+
+def test_release_process_reclaims_everything(attached):
+    machine, kernel, process, allocator, region = attached
+    for size_class in (0, 5, 20):
+        va, _ = allocator.alloc_arena(machine.core, process, size_class)
+        allocator.handle_walk(machine.core, process, va + PAGE_SIZE)
+    released = allocator.release_process(machine.core, process)
+    assert released >= 3
+    assert machine.frames.live("user") == 0
+    # Table pages all returned to the pool.
+    assert machine.stats["memento.page.table_pages_live"] == 0
+    # Releasing again is a no-op.
+    assert allocator.release_process(machine.core, process) == 0
+
+
+def test_return_pool_to_os(attached):
+    machine, kernel, process, allocator, region = attached
+    allocator.alloc_arena(machine.core, process, 0)
+    free_before = kernel.buddy.free_frames
+    returned = allocator.return_pool_to_os(machine.core)
+    assert returned > 0
+    assert kernel.buddy.free_frames == free_before + returned
+    assert machine.frames.live("memento") == 0
+    assert len(allocator.pool) == 0
+
+
+def test_aac_hits_after_first_access(attached):
+    machine, kernel, process, allocator, region = attached
+    allocator.alloc_arena(machine.core, process, 3)
+    allocator.alloc_arena(machine.core, process, 3)
+    assert machine.stats["memento.aac.hits"] == 1
+    assert machine.stats["memento.aac.misses"] == 1
+    assert allocator.aac.hit_rate() == pytest.approx(0.5)
+
+
+def test_aac_evicts_lru_class(attached):
+    machine, kernel, process, allocator, region = attached
+    capacity = CONFIG.aac_classes_per_core
+    for size_class in range(capacity + 1):  # one more than fits
+        allocator.alloc_arena(machine.core, process, size_class)
+    allocator.alloc_arena(machine.core, process, 0)  # evicted -> miss
+    assert machine.stats["memento.aac.misses"] == capacity + 2
+
+
+def test_aac_uniformly_high_hit_rate_for_few_classes(attached):
+    machine, kernel, process, allocator, region = attached
+    # "a small number of size classes per workload is sufficient" (§3.2):
+    # hammer 3 classes; the AAC should approach a 100% hit rate.
+    for i in range(60):
+        allocator.alloc_arena(machine.core, process, i % 3)
+    assert allocator.aac.hit_rate() > 0.9

@@ -1,0 +1,206 @@
+"""Tests for the Memento region carve and arena header machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arena import ArenaHeader, HEADER_BYTES, arena_span_bytes
+from repro.core.config import MementoConfig
+from repro.core.region import MementoRegion
+from repro.sim.params import PAGE_SIZE
+
+CONFIG = MementoConfig()
+REGION = MementoRegion.reserve(0x4000_0000_0000, CONFIG)
+
+
+# ---------------------------------------------------------------- region
+
+
+def test_region_carved_evenly_into_64_classes():
+    assert CONFIG.per_class_region_bytes * 64 == CONFIG.region_bytes
+    assert REGION.class_base(0) == REGION.mrs
+    assert (
+        REGION.class_base(63)
+        == REGION.mrs + 63 * CONFIG.per_class_region_bytes
+    )
+
+
+def test_region_base_must_be_page_aligned():
+    with pytest.raises(ValueError):
+        MementoRegion.reserve(0x1001, CONFIG)
+
+
+def test_contains_boundaries():
+    assert REGION.contains(REGION.mrs)
+    assert REGION.contains(REGION.mre - 1)
+    assert not REGION.contains(REGION.mre)
+    assert not REGION.contains(REGION.mrs - 1)
+
+
+def test_size_class_of_recovers_class():
+    for size_class in (0, 5, 63):
+        base = REGION.class_base(size_class)
+        assert REGION.size_class_of(base) == size_class
+        assert REGION.size_class_of(base + 100) == size_class
+
+
+def test_size_class_of_rejects_outside():
+    with pytest.raises(ValueError):
+        REGION.size_class_of(0x1000)
+
+
+def test_class_base_rejects_bad_class():
+    with pytest.raises(ValueError):
+        REGION.class_base(64)
+
+
+def test_arena_base_of_rounds_down_to_span():
+    size_class = 2  # 24 B objects
+    span = arena_span_bytes(size_class, CONFIG)
+    class_base = REGION.class_base(size_class)
+    addr = class_base + 3 * span + 1000
+    recovered_class, base = REGION.arena_base_of(addr)
+    assert recovered_class == size_class
+    assert base == class_base + 3 * span
+
+
+def test_arenas_per_class_positive():
+    # Even the largest class (33-page arenas in a 1 MB sub-region) fits
+    # several arenas; VA recycling makes that ample (§3.2 + DESIGN.md).
+    for size_class in (0, 31, 63):
+        assert REGION.arenas_per_class(size_class) >= 4
+
+
+# ---------------------------------------------------------------- arena span
+
+
+def test_span_is_page_multiple():
+    for size_class in range(64):
+        assert arena_span_bytes(size_class, CONFIG) % PAGE_SIZE == 0
+
+
+def test_smallest_class_fits_one_page():
+    # 256 x 8 B + header = 2112 B -> a single page (§3.2).
+    assert arena_span_bytes(0, CONFIG) == PAGE_SIZE
+
+
+def test_largest_class_span():
+    # 256 x 512 B + 64 B header -> 33 pages.
+    assert arena_span_bytes(63, CONFIG) == 33 * PAGE_SIZE
+
+
+# ---------------------------------------------------------------- header
+
+
+def make_header(size_class=2, objects=256):
+    return ArenaHeader(
+        va=REGION.class_base(size_class),
+        size_class=size_class,
+        pa=0x1000,
+        objects=objects,
+    )
+
+
+def test_find_free_slot_scans_lowest_first():
+    header = make_header()
+    assert header.find_free_slot() == 0
+    header.set_slot(0)
+    assert header.find_free_slot() == 1
+    header.set_slot(1)
+    header.clear_slot(0)
+    assert header.find_free_slot() == 0
+
+
+def test_set_slot_twice_raises():
+    header = make_header()
+    header.set_slot(3)
+    with pytest.raises(ValueError):
+        header.set_slot(3)
+
+
+def test_clear_unset_slot_returns_false():
+    header = make_header()
+    assert header.clear_slot(5) is False
+
+
+def test_full_and_empty_flags():
+    header = make_header(objects=4)
+    assert header.is_empty and not header.is_full
+    for index in range(4):
+        header.set_slot(index)
+    assert header.is_full and not header.is_empty
+    assert header.find_free_slot() is None
+    assert header.live_objects == 4
+
+
+def test_slot_index_bounds_checked():
+    header = make_header(objects=8)
+    with pytest.raises(ValueError):
+        header.set_slot(8)
+    with pytest.raises(ValueError):
+        header.set_slot(-1)
+
+
+def test_object_addr_index_roundtrip():
+    header = make_header(size_class=5)  # 48 B objects
+    for index in (0, 1, 100, 255):
+        addr = header.object_addr(index, CONFIG)
+        assert header.object_index(addr, CONFIG) == index
+    assert header.object_addr(0, CONFIG) == header.va + HEADER_BYTES
+
+
+def test_object_index_rejects_misaligned():
+    header = make_header(size_class=5)
+    addr = header.object_addr(1, CONFIG)
+    with pytest.raises(ValueError):
+        header.object_index(addr + 3, CONFIG)
+    with pytest.raises(ValueError):
+        header.object_index(header.va, CONFIG)  # header line
+
+
+def test_region_math_agrees_with_object_layout():
+    """Any object address maps back to its arena via pure region math."""
+    size_class = 7
+    span = arena_span_bytes(size_class, CONFIG)
+    arena_base = REGION.class_base(size_class) + 11 * span
+    header = ArenaHeader(va=arena_base, size_class=size_class, pa=0)
+    addr = header.object_addr(200, CONFIG)
+    assert REGION.arena_base_of(addr) == (size_class, arena_base)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    size_class=st.integers(min_value=0, max_value=63),
+    arena_index=st.integers(min_value=0, max_value=50),
+    object_index=st.integers(min_value=0, max_value=255),
+)
+def test_address_recovery_property(size_class, arena_index, object_index):
+    """Recovering (class, arena, index) from the address is exact for the
+    whole geometry — the §3.2 bit-math invariant."""
+    span = arena_span_bytes(size_class, CONFIG)
+    arena_index %= REGION.arenas_per_class(size_class)
+    base = REGION.class_base(size_class) + arena_index * span
+    header = ArenaHeader(va=base, size_class=size_class, pa=0)
+    addr = header.object_addr(object_index, CONFIG)
+    assert REGION.arena_base_of(addr) == (size_class, base)
+    assert header.object_index(addr, CONFIG) == object_index
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(st.integers(min_value=0, max_value=255), max_size=100)
+)
+def test_bitmap_population_count_property(ops):
+    """live_objects always equals the number of distinct set slots."""
+    header = make_header()
+    expected = set()
+    for slot in ops:
+        if slot in expected:
+            header.clear_slot(slot)
+            expected.discard(slot)
+        else:
+            header.set_slot(slot)
+            expected.add(slot)
+    assert header.live_objects == len(expected)
+    for slot in range(256):
+        assert header.slot_is_set(slot) == (slot in expected)

@@ -1,0 +1,111 @@
+"""Tests for the experiment runner and the sensitivity sweeps."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.experiment import (
+    geometric_mean,
+    run_workload,
+)
+from repro.harness.sweeps import (
+    ablation_study,
+    iso_storage_study,
+    mallacc_study,
+    multiprocess_study,
+    populate_study,
+    tuning_study,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def html_result():
+    spec = replace(get_workload("html"), num_allocs=4_000)
+    return run_workload(spec)
+
+
+def test_speedup_above_one(html_result):
+    assert html_result.speedup > 1.0
+
+
+def test_breakdown_sums_to_one(html_result):
+    breakdown = html_result.breakdown()
+    assert set(breakdown) == {"obj-alloc", "obj-free", "page-mgmt", "bypass"}
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in breakdown.values())
+
+
+def test_user_kernel_split_sums_to_one(html_result):
+    split = html_result.user_kernel_split()
+    assert split["user"] + split["kernel"] == pytest.approx(1.0)
+
+
+def test_bandwidth_reduction_bounded(html_result):
+    assert -1.0 < html_result.bandwidth_reduction < 1.0
+
+
+def test_memory_ratios_positive(html_result):
+    ratios = html_result.memory_usage_ratios()
+    assert all(v > 0 for v in ratios.values())
+
+
+def test_mm_fraction_sane(html_result):
+    assert 0.05 < html_result.mm_fraction_of_runtime < 0.8
+
+
+def test_run_workload_is_memoized():
+    spec = replace(get_workload("aes"), num_allocs=1_000)
+    first = run_workload(spec)
+    second = run_workload(spec)
+    assert first.baseline is second.baseline  # same cached object
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+# ------------------------------------------------------------------- sweeps
+
+
+def test_iso_storage_sram_beats_nothing_but_loses_to_memento():
+    result = iso_storage_study("html")
+    assert result["iso_storage_speedup"] < 1.05
+    assert result["memento_speedup"] > result["iso_storage_speedup"] + 0.05
+
+
+def test_populate_go_blows_up_footprint():
+    result = populate_study()
+    go = next(v for v in result.values() if v["language"] == "go")
+    assert go["footprint_ratio"] > 2.0
+    python = next(v for v in result.values() if v["language"] == "python")
+    assert python["footprint_ratio"] < go["footprint_ratio"]
+
+
+def test_multiprocess_flush_overhead_negligible():
+    result = multiprocess_study(trials=2)
+    assert result["mean_flush_fraction"] < 0.01
+    assert result["mean_context_switches"] >= 4
+
+
+def test_tuning_larger_arenas_small_effect():
+    result = tuning_study()
+    speedups = [v["speedup"] for v in result.values()]
+    assert max(speedups) - min(speedups) < 0.02  # <1% paper
+    mmaps = [v["mmap_calls"] for v in result.values()]
+    assert mmaps[0] >= mmaps[-1]  # bigger arenas, fewer mmaps
+
+
+def test_mallacc_half_of_memento():
+    result = mallacc_study()
+    avg = result["avg"]
+    assert 1.0 < avg["mallacc_speedup"] < avg["memento_speedup"]
+
+
+def test_ablation_full_wins():
+    result = ablation_study("aes")
+    assert result["full"] >= result["no_bypass"] - 0.01
+    assert result["full"] >= result["no_eager_refill"] - 0.001
+    assert result["full"] > 1.0

@@ -1,0 +1,159 @@
+"""Integration tests: full replays on baseline and Memento stacks."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import MementoConfig
+from repro.harness.system import SimulatedSystem
+from repro.workloads.registry import get_workload
+from repro.workloads.synth import WorkloadSpec, generate_trace
+
+
+def small(name="html", **kwargs):
+    spec = replace(get_workload(name), num_allocs=2_000)
+    return replace(spec, **kwargs) if kwargs else spec
+
+
+@pytest.fixture(scope="module")
+def html_pair():
+    base = SimulatedSystem(small(), memento=False).run()
+    mem = SimulatedSystem(small(), memento=True).run()
+    return base, mem
+
+
+def test_replay_is_deterministic():
+    a = SimulatedSystem(small(), memento=False).run()
+    b = SimulatedSystem(small(), memento=False).run()
+    assert a.total_cycles == b.total_cycles
+    assert a.dram_bytes == b.dram_bytes
+
+
+def test_memento_is_faster(html_pair):
+    base, mem = html_pair
+    assert mem.total_cycles < base.total_cycles
+
+
+def test_app_cycles_identical_across_stacks(html_pair):
+    base, mem = html_pair
+    assert base.cycles["app"] == mem.cycles["app"]
+
+
+def test_mm_cycles_shrink(html_pair):
+    base, mem = html_pair
+    assert mem.mm_cycles < base.mm_cycles
+
+
+def test_baseline_uses_software_categories(html_pair):
+    base, _ = html_pair
+    assert base.cycles.get("user_alloc", 0) > 0
+    assert base.cycles.get("kernel_page", 0) > 0
+    assert "hw_alloc" not in base.cycles
+
+
+def test_memento_uses_hardware_categories(html_pair):
+    _, mem = html_pair
+    assert mem.cycles.get("hw_alloc", 0) > 0
+    assert mem.cycles.get("hw_page", 0) > 0
+
+
+def test_alloc_free_counts_match_trace(html_pair):
+    base, mem = html_pair
+    trace = generate_trace(small().resolved())
+    assert base.allocs == trace.alloc_count == mem.allocs
+    assert base.frees == trace.free_count == mem.frees
+
+
+def test_hot_rates_populated_only_for_memento(html_pair):
+    base, mem = html_pair
+    assert base.hot_alloc_hit_rate is None
+    assert 0.9 < mem.hot_alloc_hit_rate <= 1.0
+    assert 0 <= mem.hot_free_hit_rate <= 1.0
+
+
+def test_function_exit_releases_memory():
+    system = SimulatedSystem(small(), memento=True)
+    system.run()
+    assert system.machine.frames.live("user") == 0
+    assert system.process.exited
+
+
+def test_dataproc_does_not_exit():
+    spec = replace(get_workload("Redis"), num_allocs=2_000)
+    system = SimulatedSystem(spec, memento=False)
+    system.run()
+    assert not system.process.exited
+
+
+def test_cold_start_adds_setup_work():
+    cold = SimulatedSystem(small(), memento=False, cold_start=True).run()
+    warm = SimulatedSystem(small(), memento=False).run()
+    assert cold.total_cycles > warm.total_cycles
+    assert cold.stats["kernel.fault.faults"] > warm.stats[
+        "kernel.fault.faults"
+    ]
+
+
+def test_populate_rejected_on_memento():
+    with pytest.raises(ValueError):
+        SimulatedSystem(small(), memento=True, mmap_populate=True)
+
+
+def test_populate_increases_footprint():
+    lazy = SimulatedSystem(small("html-go"), memento=False).run()
+    eager = SimulatedSystem(
+        small("html-go"), memento=False, mmap_populate=True
+    ).run()
+    assert eager.peak_pages > lazy.peak_pages
+
+
+def test_warm_heap_suppresses_faults():
+    cpp = replace(get_workload("US"), num_allocs=2_000)
+    warm = SimulatedSystem(cpp, memento=False).run()
+    cold = SimulatedSystem(
+        replace(cpp, warm_heap=False), memento=False
+    ).run()
+    assert warm.stats.get("kernel.fault.faults", 0) < cold.stats[
+        "kernel.fault.faults"
+    ]
+
+
+def test_bypass_disabled_increases_dram_reads():
+    on = SimulatedSystem(small(), memento=True).run()
+    off = SimulatedSystem(
+        small(), memento=True, memento_config=MementoConfig(
+            bypass_enabled=False
+        )
+    ).run()
+    assert off.stats["dram.read_bytes"] >= on.stats["dram.read_bytes"]
+
+
+def test_shared_machine_multi_process():
+    from repro.core.page_allocator import HardwarePageAllocator
+    from repro.kernel.kernel import Kernel
+    from repro.sim.machine import Machine
+
+    machine = Machine()
+    kernel = Kernel(machine)
+    config = MementoConfig()
+    pa = HardwarePageAllocator(kernel, config)
+    a = SimulatedSystem(
+        small("aes"), memento=True, memento_config=config,
+        machine=machine, kernel=kernel, page_allocator=pa,
+    )
+    b = SimulatedSystem(
+        small("jl"), memento=True, memento_config=config,
+        machine=machine, kernel=kernel, page_allocator=pa,
+    )
+    a.run()
+    b.run()
+    assert a.process.pid != b.process.pid
+    assert machine.stats["kernel.processes_exited"] == 2
+
+
+def test_memory_aggregates_positive(html_pair):
+    base, mem = html_pair
+    assert base.user_pages_aggregate > 0
+    assert base.kernel_pages_aggregate > 0
+    assert mem.user_pages_aggregate > 0
+    assert mem.kernel_pages_aggregate > 0

@@ -1,0 +1,144 @@
+"""Integration-level tests for the kernel facade, syscalls, and faults."""
+
+import pytest
+
+from repro.kernel.fault import PageFaultError
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.params import PAGE_SIZE
+
+
+@pytest.fixture
+def system():
+    machine = Machine()
+    kernel = Kernel(machine)
+    process = kernel.create_process()
+    return machine, kernel, process
+
+
+def test_mmap_reserves_without_backing(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, 16 * PAGE_SIZE)
+    assert process.vmas.find(addr) is not None
+    assert process.user_pages_live == 0  # nothing faulted yet
+    assert kernel.translate(machine.core, process, addr) is None
+
+
+def test_mmap_charges_kernel_cycles(system):
+    machine, kernel, process = system
+    kernel.syscalls.mmap(machine.core, process, PAGE_SIZE)
+    expected = machine.costs.syscall_entry_exit + machine.costs.mmap_base
+    assert machine.core.cycles_in("kernel_page") == expected
+
+
+def test_fault_backs_one_page(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, 4 * PAGE_SIZE)
+    pfn = kernel.fault_handler.handle(machine.core, process, addr)
+    assert kernel.translate(machine.core, process, addr) == pfn
+    assert process.user_pages_live == 1
+    # Neighboring page still unbacked.
+    assert kernel.translate(machine.core, process, addr + PAGE_SIZE) is None
+
+
+def test_fault_outside_vma_is_segv(system):
+    machine, kernel, process = system
+    with pytest.raises(PageFaultError):
+        kernel.fault_handler.handle(machine.core, process, 0xDEAD000)
+    assert machine.stats["kernel.fault.segv"] == 1
+
+
+def test_fault_cost_is_thousands_of_cycles(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, PAGE_SIZE)
+    before = machine.core.cycles_in("kernel_page")
+    kernel.fault_handler.handle(machine.core, process, addr)
+    fault_cost = machine.core.cycles_in("kernel_page") - before
+    assert 2000 <= fault_cost <= 10000
+
+
+def test_munmap_frees_backed_pages(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, 4 * PAGE_SIZE)
+    for i in range(4):
+        kernel.fault_handler.handle(machine.core, process, addr + i * PAGE_SIZE)
+    free_before = kernel.buddy.free_frames
+    kernel.syscalls.munmap(machine.core, process, addr)
+    assert process.user_pages_live == 0
+    assert kernel.buddy.free_frames >= free_before + 4
+    assert machine.stats["kernel.syscall.munmap_pages"] == 4
+
+
+def test_munmap_skips_unbacked_pages(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, 8 * PAGE_SIZE)
+    kernel.fault_handler.handle(machine.core, process, addr)
+    kernel.syscalls.munmap(machine.core, process, addr)
+    assert machine.stats["kernel.syscall.munmap_pages"] == 1
+
+
+def test_map_populate_faults_everything_eagerly(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(
+        machine.core, process, 8 * PAGE_SIZE, populate=True
+    )
+    assert process.user_pages_live == 8
+    assert kernel.translate(machine.core, process, addr + 7 * PAGE_SIZE)
+
+
+def test_exit_process_batch_frees(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, 16 * PAGE_SIZE)
+    for i in range(16):
+        kernel.fault_handler.handle(machine.core, process, addr + i * PAGE_SIZE)
+    kernel.exit_process(machine.core, process)
+    assert process.exited
+    assert process.user_pages_live == 0
+    assert machine.stats["kernel.exit_freed_pages"] == 16
+    assert process.page_table.table_pages == 1
+
+
+def test_exit_twice_raises(system):
+    machine, kernel, process = system
+    kernel.exit_process(machine.core, process)
+    with pytest.raises(ValueError):
+        kernel.exit_process(machine.core, process)
+
+
+def test_context_switch_flushes_tlb(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, PAGE_SIZE)
+    pfn = kernel.fault_handler.handle(machine.core, process, addr)
+    machine.core.tlb.insert(addr >> 12, pfn)
+    other = kernel.create_process()
+    kernel.context_switch(machine.core, other)
+    assert machine.core.tlb.lookup(addr >> 12) is None
+    assert machine.core.cycles_in("kernel_other") >= machine.costs.context_switch
+
+
+def test_page_walk_hits_cache_on_repeat(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, PAGE_SIZE)
+    kernel.fault_handler.handle(machine.core, process, addr)
+    kernel.translate(machine.core, process, addr)
+    before = machine.core.cycles_in("walk")
+    kernel.translate(machine.core, process, addr)
+    second_walk = machine.core.cycles_in("walk") - before
+    # All four node lines are now cached: 4 x L1 latency.
+    assert second_walk == 4 * machine.params.l1d.latency
+
+
+def test_kernel_pages_charged_for_page_tables(system):
+    machine, kernel, process = system
+    addr = kernel.syscalls.mmap(machine.core, process, PAGE_SIZE)
+    kernel.fault_handler.handle(machine.core, process, addr)
+    # Root + 3 interior nodes were charged to the kernel category.
+    assert machine.frames.live("kernel") == 4
+
+
+def test_pids_are_unique(system):
+    _, kernel, process = system
+    pids = {process.pid}
+    for _ in range(5):
+        pids.add(kernel.create_process().pid)
+    assert len(pids) == 6

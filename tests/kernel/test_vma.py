@@ -1,0 +1,99 @@
+"""Unit tests for VMA management."""
+
+import pytest
+
+from repro.kernel.vma import Vma, VmaManager, VMA_SLAB_BYTES
+from repro.sim.params import PAGE_SIZE
+
+
+def test_vma_requires_page_alignment():
+    with pytest.raises(ValueError):
+        Vma(100, PAGE_SIZE)
+    with pytest.raises(ValueError):
+        Vma(0, 100)
+
+
+def test_vma_must_be_nonempty():
+    with pytest.raises(ValueError):
+        Vma(PAGE_SIZE, PAGE_SIZE)
+
+
+def test_vma_contains():
+    vma = Vma(0, 2 * PAGE_SIZE)
+    assert vma.contains(0)
+    assert vma.contains(2 * PAGE_SIZE - 1)
+    assert not vma.contains(2 * PAGE_SIZE)
+    assert vma.pages == 2
+
+
+def test_reserve_rounds_up_to_pages():
+    mgr = VmaManager(mmap_base=0x1000_0000)
+    vma = mgr.reserve(100)
+    assert vma.end - vma.start == PAGE_SIZE
+    assert vma.start == 0x1000_0000
+
+
+def test_reserve_is_monotonic_and_disjoint():
+    mgr = VmaManager(mmap_base=0)
+    a = mgr.reserve(PAGE_SIZE)
+    b = mgr.reserve(3 * PAGE_SIZE)
+    c = mgr.reserve(PAGE_SIZE)
+    assert a.end <= b.start and b.end <= c.start
+
+
+def test_reserve_rejects_nonpositive():
+    mgr = VmaManager()
+    with pytest.raises(ValueError):
+        mgr.reserve(0)
+
+
+def test_find_covers_interior_addresses():
+    mgr = VmaManager(mmap_base=0)
+    vma = mgr.reserve(4 * PAGE_SIZE)
+    assert mgr.find(vma.start) is vma
+    assert mgr.find(vma.start + 5000) is vma
+    assert mgr.find(vma.end) is None
+
+
+def test_find_in_gap_returns_none():
+    mgr = VmaManager(mmap_base=0x10000)
+    assert mgr.find(0) is None
+    mgr.reserve(PAGE_SIZE)
+    assert mgr.find(0x10000 - 1) is None
+
+
+def test_remove_exact_start():
+    mgr = VmaManager(mmap_base=0)
+    vma = mgr.reserve(PAGE_SIZE)
+    removed = mgr.remove(vma.start)
+    assert removed is vma
+    assert mgr.find(vma.start) is None
+    assert len(mgr) == 0
+
+
+def test_remove_wrong_address_raises():
+    mgr = VmaManager(mmap_base=0)
+    mgr.reserve(PAGE_SIZE)
+    with pytest.raises(KeyError):
+        mgr.remove(12345 * PAGE_SIZE)
+
+
+def test_live_bytes_and_len():
+    mgr = VmaManager(mmap_base=0)
+    mgr.reserve(PAGE_SIZE)
+    mgr.reserve(2 * PAGE_SIZE)
+    assert mgr.live_bytes == 3 * PAGE_SIZE
+    assert len(mgr) == 2
+
+
+def test_metadata_accounting():
+    mgr = VmaManager(mmap_base=0)
+    per_page = PAGE_SIZE // VMA_SLAB_BYTES
+    for _ in range(per_page + 1):
+        mgr.reserve(PAGE_SIZE)
+    assert mgr.metadata_pages() == 2
+    assert mgr.aggregate_created == per_page + 1
+    # Removing VMAs reduces live metadata but not the aggregate.
+    first = next(iter(mgr))
+    mgr.remove(first.start)
+    assert mgr.aggregate_metadata_pages() == 2

@@ -1,0 +1,158 @@
+"""Unit tests for the cache level and the hierarchy."""
+
+import pytest
+
+from repro.sim.cache import Cache, CacheHierarchy, MemLevel
+from repro.sim.dram import Dram
+from repro.sim.params import CacheParams, MachineParams
+from repro.sim.stats import Stats
+
+
+@pytest.fixture
+def small_cache():
+    stats = Stats()
+    cache = Cache(CacheParams(size_bytes=4 * 64, ways=2, latency=1),
+                  stats.scoped("c"))
+    return cache, stats
+
+
+def test_miss_then_hit(small_cache):
+    cache, stats = small_cache
+    assert not cache.lookup(0x10, write=False)
+    cache.insert(0x10, dirty=False)
+    assert cache.lookup(0x10, write=False)
+    assert stats["c.hits"] == 1
+    assert stats["c.misses"] == 1
+
+
+def test_lru_eviction_order(small_cache):
+    cache, _ = small_cache
+    # 2 sets x 2 ways; lines 0, 2, 4 map to set 0.
+    cache.insert(0, dirty=False)
+    cache.insert(2, dirty=False)
+    cache.lookup(0, write=False)  # 0 becomes MRU, 2 is LRU
+    victim = cache.insert(4, dirty=False)
+    assert victim == (2, False)
+    assert cache.contains(0)
+    assert not cache.contains(2)
+
+
+def test_dirty_bit_set_on_write(small_cache):
+    cache, _ = small_cache
+    cache.insert(0, dirty=False)
+    cache.lookup(0, write=True)  # clean line becomes dirty on a write hit
+    cache.insert(2, dirty=False)  # 2 is now MRU, 0 is LRU
+    victim = cache.insert(4, dirty=False)
+    assert victim == (0, True)  # evicted dirty even though inserted clean
+    victim = cache.insert(6, dirty=False)
+    assert victim == (2, False)
+
+
+def test_insert_existing_line_keeps_one_copy(small_cache):
+    cache, _ = small_cache
+    cache.insert(0, dirty=False)
+    assert cache.insert(0, dirty=True) is None
+    assert cache.occupancy == 1
+
+
+def test_invalidate(small_cache):
+    cache, _ = small_cache
+    cache.insert(0, dirty=True)
+    assert cache.invalidate(0)
+    assert not cache.invalidate(0)
+    assert not cache.contains(0)
+
+
+def test_flush_counts_dirty(small_cache):
+    cache, _ = small_cache
+    cache.insert(0, dirty=True)
+    cache.insert(1, dirty=False)
+    assert cache.flush() == 1
+    assert cache.occupancy == 0
+
+
+@pytest.fixture
+def hierarchy():
+    params = MachineParams()
+    stats = Stats()
+    dram = Dram(params, stats)
+    return CacheHierarchy(params, stats, dram), stats, dram, params
+
+
+def test_cold_access_goes_to_dram(hierarchy):
+    caches, stats, dram, params = hierarchy
+    result = caches.access(0x1000)
+    assert result.level == MemLevel.DRAM
+    assert result.cycles == (
+        params.l1d.latency + params.l2.latency + params.llc.latency
+        + params.dram_latency
+    )
+    assert stats["dram.read_bytes"] == 64
+
+
+def test_second_access_hits_l1(hierarchy):
+    caches, _, _, params = hierarchy
+    caches.access(0x1000)
+    result = caches.access(0x1000)
+    assert result.level == MemLevel.L1
+    assert result.cycles == params.l1d.latency
+
+
+def test_same_line_different_bytes_hit(hierarchy):
+    caches, _, _, _ = hierarchy
+    caches.access(0x1000)
+    assert caches.access(0x1004).level == MemLevel.L1
+    assert caches.access(0x103F).level == MemLevel.L1
+
+
+def test_adjacent_line_misses(hierarchy):
+    caches, _, _, _ = hierarchy
+    caches.access(0x1000)
+    assert caches.access(0x1040).level == MemLevel.DRAM
+
+
+def test_instantiate_skips_dram(hierarchy):
+    caches, stats, dram, _ = hierarchy
+    result = caches.instantiate(0x2000)
+    assert result.level == MemLevel.LLC
+    assert stats["dram.read_bytes"] == 0
+    assert stats["hierarchy.bypass_fills"] == 1
+    # Line now present: next access is an L1 hit.
+    assert caches.access(0x2000).level == MemLevel.L1
+
+
+def test_instantiated_dirty_line_writes_back_eventually(hierarchy):
+    caches, stats, _, params = hierarchy
+    caches.instantiate(0x0)
+    # Thrash the LLC set of line 0 until it evicts the dirty line.
+    num_sets = caches.llc.params.num_sets
+    for i in range(1, params.llc.ways + 2):
+        caches._fill_llc(i * num_sets, dirty=False)
+    assert stats["dram.write_bytes"] >= 64
+
+
+def test_l1_dirty_eviction_propagates_to_l2(hierarchy):
+    caches, _, _, params = hierarchy
+    num_sets = caches.l1d.params.num_sets
+    line0 = 0
+    caches.access_line(line0, write=True)
+    # Fill set 0 of L1 until line0 evicts; it must land dirty in L2.
+    for i in range(1, params.l1d.ways + 1):
+        caches.access_line(i * num_sets)
+    assert not caches.l1d.contains(line0)
+    assert caches.l2.contains(line0)
+
+
+def test_flush_all_writes_dirty_llc_lines(hierarchy):
+    caches, stats, _, _ = hierarchy
+    caches.instantiate(0x40)  # dirty in LLC
+    caches.flush_all()
+    assert stats["dram.write_bytes"] >= 64
+    assert not caches.present(0x40)
+
+
+def test_present_checks_all_levels(hierarchy):
+    caches, _, _, _ = hierarchy
+    assert not caches.present(0x1000)
+    caches.access(0x1000)
+    assert caches.present(0x1000)

@@ -1,0 +1,100 @@
+"""Unit tests for the frame ledger, machine params, and hardware costs."""
+
+import pytest
+
+from repro.sim.hwcost import AAC_COST, HOT_COST, hot_total_bytes
+from repro.sim.machine import Machine
+from repro.sim.memory import FrameSpace
+from repro.sim.params import MachineParams, PAGE_SIZE
+
+
+def test_frame_capacity_matches_dram_size():
+    frames = FrameSpace(MachineParams(dram_gb=64))
+    assert frames.total_frames == 64 * (1 << 30) // PAGE_SIZE
+
+
+def test_charge_and_credit():
+    frames = FrameSpace(MachineParams())
+    frames.charge("user", 3)
+    frames.credit("user", 1)
+    assert frames.live("user") == 2
+    assert frames.aggregate("user") == 3
+    assert frames.peak("user") == 3
+
+
+def test_credit_below_zero_raises():
+    frames = FrameSpace(MachineParams())
+    frames.charge("user", 1)
+    with pytest.raises(ValueError):
+        frames.credit("user", 2)
+
+
+def test_negative_charge_rejected():
+    frames = FrameSpace(MachineParams())
+    with pytest.raises(ValueError):
+        frames.charge("user", -1)
+
+
+def test_move_does_not_inflate_aggregate():
+    frames = FrameSpace(MachineParams())
+    frames.charge("memento", 4)
+    frames.move("memento", "user", 2)
+    assert frames.live("memento") == 2
+    assert frames.live("user") == 2
+    assert frames.aggregate("user") == 0  # counted under memento
+    assert frames.aggregate("memento") == 4
+
+
+def test_usage_report_shape():
+    frames = FrameSpace(MachineParams())
+    frames.charge("kernel", 2)
+    report = frames.usage_report()
+    assert report["kernel"] == {"live": 2, "aggregate": 2, "peak": 2}
+
+
+def test_machine_assembles_table3_defaults():
+    machine = Machine()
+    params = machine.params
+    assert params.l1d.size_bytes == 32 * 1024 and params.l1d.ways == 8
+    assert params.l2.size_bytes == 256 * 1024 and params.l2.latency == 14
+    assert params.llc.ways == 16 and params.llc.latency == 40
+    assert params.freq_hz == 3.0e9
+    assert len(machine.cores) == 1
+
+
+def test_core_charge_categories():
+    machine = Machine()
+    machine.core.charge(100, "app")
+    machine.core.charge(50, "kernel_page")
+    assert machine.core.cycles == 150
+    assert machine.core.cycles_in("app") == 100
+    assert machine.core.cycles_in("kernel_page") == 50
+
+
+def test_cycles_to_seconds():
+    params = MachineParams()
+    assert params.cycles_to_seconds(3.0e9) == pytest.approx(1.0)
+
+
+def test_iso_storage_l1d_is_nine_way():
+    params = MachineParams().with_iso_storage_l1d()
+    assert params.l1d.ways == 9
+    assert params.l1d.size_bytes == 36 * 1024
+    assert params.l1d.latency == MachineParams().l1d.latency
+
+
+def test_hot_analytic_size_matches_table3():
+    # Table 3: HOT is 3.4 KB; the bit-level layout should land within 2%.
+    assert hot_total_bytes() == pytest.approx(HOT_COST.size_bytes, rel=0.02)
+
+
+def test_published_cacti_numbers_carried():
+    assert HOT_COST.power_mw == 1.32 and HOT_COST.area_mm2 == 0.0084
+    assert AAC_COST.power_mw == 0.43 and AAC_COST.area_mm2 == 0.0023
+
+
+def test_multicore_machine():
+    machine = Machine(MachineParams(num_cores=4))
+    assert len(machine.cores) == 4
+    machine.cores[2].charge(500)
+    assert machine.total_cycles() == 500

@@ -1,0 +1,82 @@
+"""Unit tests for the statistics counters."""
+
+from repro.sim.stats import Stats
+
+
+def test_counters_start_at_zero():
+    stats = Stats()
+    assert stats.get("anything") == 0
+    assert stats["anything"] == 0
+    assert "anything" not in stats
+
+
+def test_add_accumulates():
+    stats = Stats()
+    stats.add("hits")
+    stats.add("hits", 4)
+    assert stats["hits"] == 5
+
+
+def test_set_overwrites():
+    stats = Stats()
+    stats.add("x", 10)
+    stats.set("x", 3)
+    assert stats["x"] == 3
+
+
+def test_scoped_prefixes_names():
+    stats = Stats()
+    scoped = stats.scoped("l1d")
+    scoped.add("hits", 2)
+    assert stats["l1d.hits"] == 2
+    assert scoped["hits"] == 2
+
+
+def test_nested_scopes_compose():
+    stats = Stats()
+    inner = stats.scoped("memento").scoped("hot")
+    inner.add("alloc_hits")
+    assert stats["memento.hot.alloc_hits"] == 1
+
+
+def test_merge_adds_counters():
+    a, b = Stats(), Stats()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 5)
+    a.merge(b)
+    assert a["x"] == 3
+    assert a["y"] == 5
+
+
+def test_snapshot_and_diff():
+    stats = Stats()
+    stats.add("x", 5)
+    before = stats.snapshot()
+    stats.add("x", 2)
+    stats.add("y", 1)
+    delta = stats.diff(before)
+    assert delta == {"x": 2, "y": 1}
+
+
+def test_with_prefix_filters():
+    stats = Stats()
+    stats.add("l1d.hits", 1)
+    stats.add("l1d.misses", 2)
+    stats.add("l2.hits", 3)
+    subset = stats.with_prefix("l1d")
+    assert set(subset) == {"l1d.hits", "l1d.misses"}
+
+
+def test_items_sorted():
+    stats = Stats()
+    stats.add("b")
+    stats.add("a")
+    assert [name for name, _ in stats.items()] == ["a", "b"]
+
+
+def test_clear_resets():
+    stats = Stats()
+    stats.add("x", 9)
+    stats.clear()
+    assert stats["x"] == 0

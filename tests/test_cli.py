@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_all_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("html", "Redis", "deploy", "aes-go"):
+        assert name in out
+
+
+def test_run_single_workload(capsys, monkeypatch):
+    # Shrink the workload so the CLI test stays fast.
+    from dataclasses import replace
+    import repro.cli as cli
+
+    original = cli.get_workload
+    monkeypatch.setattr(
+        cli, "get_workload",
+        lambda name: replace(original(name), num_allocs=2_000),
+    )
+    assert main(["run", "aes"]) == 0
+    out = capsys.readouterr().out
+    assert "aes" in out and "speedup" in out
+
+
+def test_run_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        main(["run", "not-a-workload"])
+
+
+def test_sweep_choices_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "bogus"])
+
+
+def test_sweep_iso_storage(capsys):
+    assert main(["sweep", "iso-storage"]) == 0
+    out = capsys.readouterr().out
+    assert "iso" in out.lower()
+    assert "memento" in out.lower()
+
+
+def test_characterize(capsys, monkeypatch):
+    from dataclasses import replace
+    import repro.cli as cli
+
+    monkeypatch.setattr(
+        cli, "all_workloads",
+        lambda: [replace(s, num_allocs=1_500) for s in
+                 __import__("repro.workloads.registry",
+                            fromlist=["all_workloads"]).all_workloads()[:4]],
+    )
+    assert main(["characterize"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out and "Fig. 3" in out and "Table 1" in out
+
+
+def test_energy_command(capsys, monkeypatch):
+    from dataclasses import replace
+    import repro.cli as cli
+
+    original = cli.get_workload
+    monkeypatch.setattr(
+        cli, "get_workload",
+        lambda name: replace(original(name), num_allocs=2_000),
+    )
+    assert main(["energy", "aes"]) == 0
+    out = capsys.readouterr().out
+    assert "mm_energy_reduction" in out
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

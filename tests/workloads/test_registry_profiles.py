@@ -1,0 +1,132 @@
+"""Tests for the workload registry and the statistical profiles."""
+
+import random
+
+import pytest
+
+from repro.workloads.profiles import (
+    DATAPROC_LIFETIME,
+    KV_SIZE_MODES,
+    LIFETIMES_BY_LANGUAGE,
+    PLATFORM_LIFETIME,
+    PROFILES,
+    LifetimeProfile,
+    large_sampler,
+    mode_sampler,
+)
+from repro.workloads.registry import (
+    DATAPROC_WORKLOADS,
+    FUNCTION_WORKLOADS,
+    PLATFORM_WORKLOADS,
+    all_workloads,
+    get_workload,
+)
+
+
+def test_registry_has_all_23_workloads():
+    assert len(FUNCTION_WORKLOADS) == 16
+    assert len(DATAPROC_WORKLOADS) == 4
+    assert len(PLATFORM_WORKLOADS) == 3
+    assert len(all_workloads()) == 23
+
+
+def test_paper_workload_names_present():
+    for name in ["html", "ir", "bfs", "dna", "aes", "fr", "jl", "jd", "mk",
+                 "US", "UM", "CM", "MI", "html-go", "bfs-go", "aes-go",
+                 "Redis", "Memcached", "Silo", "SQLite3",
+                 "up", "deploy", "invoke"]:
+        assert get_workload(name).name == name
+
+
+def test_unknown_workload_raises_with_names():
+    with pytest.raises(KeyError, match="available"):
+        get_workload("nope")
+
+
+def test_names_unique():
+    names = [spec.name for spec in all_workloads()]
+    assert len(names) == len(set(names))
+
+
+def test_language_split_matches_paper():
+    languages = {s.name: s.language for s in FUNCTION_WORKLOADS}
+    assert languages["html"] == "python"
+    assert languages["US"] == "cpp"
+    assert languages["html-go"] == "go"
+    assert all(s.language == "cpp" for s in DATAPROC_WORKLOADS)
+    assert all(s.language == "go" for s in PLATFORM_WORKLOADS)
+
+
+def test_categories():
+    assert all(s.category == "function" for s in FUNCTION_WORKLOADS)
+    assert all(s.category == "dataproc" for s in DATAPROC_WORKLOADS)
+    assert all(s.category == "platform" for s in PLATFORM_WORKLOADS)
+
+
+def test_seeds_unique_for_determinism():
+    seeds = [s.seed for s in all_workloads()]
+    assert len(seeds) == len(set(seeds))
+
+
+# ---------------------------------------------------------------- profiles
+
+
+def test_mode_sampler_respects_threshold():
+    rng = random.Random(0)
+    sample = mode_sampler(KV_SIZE_MODES, jitter=0.3)
+    assert all(8 <= sample(rng) <= 512 for _ in range(2000))
+
+
+def test_mode_sampler_without_jitter_hits_modes():
+    rng = random.Random(0)
+    sample = mode_sampler(((16, 0.5), (64, 0.5)))
+    assert set(sample(rng) for _ in range(200)) == {16, 64}
+
+
+def test_large_sampler_exceeds_threshold():
+    rng = random.Random(0)
+    assert all(large_sampler(rng) > 512 for _ in range(500))
+
+
+def test_lifetime_fractions_sum_sane():
+    for profile in list(LIFETIMES_BY_LANGUAGE.values()) + [
+        DATAPROC_LIFETIME, PLATFORM_LIFETIME
+    ]:
+        assert 0 <= profile.never <= 1
+        assert profile.short + profile.medium <= 1.0 + 1e-9
+
+
+def test_lifetime_sample_ranges():
+    rng = random.Random(1)
+    profile = LifetimeProfile(short=0.5, medium=0.5)
+    for _ in range(500):
+        distance = profile.sample(rng)
+        assert distance is not None
+        assert 1 <= distance <= profile.medium_max
+
+
+def test_short_only_profile_within_16():
+    rng = random.Random(2)
+    profile = LifetimeProfile(short=1.0, medium=0.0)
+    assert all(1 <= profile.sample(rng) <= 16 for _ in range(500))
+
+
+def test_never_only_profile():
+    rng = random.Random(3)
+    profile = LifetimeProfile(short=0.0, medium=0.0)
+    assert all(profile.sample(rng) is None for _ in range(100))
+
+
+def test_language_profiles_cover_three_runtimes():
+    assert set(PROFILES) == {"python", "cpp", "go"}
+    for profile in PROFILES.values():
+        assert 0.9 <= profile.small_fraction <= 1.0
+
+
+def test_go_profile_is_long_lived():
+    # Fig. 3: Golang allocations are long-lived (GC not invoked).
+    assert PROFILES["go"].lifetime.never > 0.8
+
+
+def test_cpp_profile_is_short_lived():
+    assert PROFILES["cpp"].lifetime.short >= 0.85
