@@ -1,14 +1,19 @@
 """Shared fixtures for the evaluation benchmarks.
 
 Each benchmark regenerates one table or figure of the paper and prints it
-(captured into bench_output.txt by the top-level run). Workload runs are
-memoized inside :mod:`repro.harness.experiment`, so the full 3-run set per
-workload executes once per pytest session regardless of how many figures
-consume it.
+(captured into bench_output.txt by the top-level run). Workload runs all
+route through the shared :class:`~repro.harness.engine.ExperimentEngine`:
+the full 3-run set per workload executes once per pytest session
+regardless of how many figures consume it, persists in the on-disk
+result cache across sessions, and — with ``REPRO_JOBS=N`` — fans out
+across worker processes on the first (cold) run.
 """
+
+import os
 
 import pytest
 
+from repro.harness.engine import get_default_engine
 from repro.harness.experiment import run_all
 from repro.workloads.registry import (
     DATAPROC_WORKLOADS,
@@ -18,19 +23,30 @@ from repro.workloads.registry import (
 from repro.workloads.synth import generate_trace
 
 
-@pytest.fixture(scope="session")
-def function_results():
-    return run_all(FUNCTION_WORKLOADS)
+def _jobs() -> int:
+    """Worker processes for the evaluation batch (``REPRO_JOBS``)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
 
 
 @pytest.fixture(scope="session")
-def dataproc_results():
-    return run_all(DATAPROC_WORKLOADS)
+def engine():
+    """The session's shared experiment engine (memo + disk cache)."""
+    return get_default_engine()
 
 
 @pytest.fixture(scope="session")
-def platform_results():
-    return run_all(PLATFORM_WORKLOADS)
+def function_results(engine):
+    return run_all(FUNCTION_WORKLOADS, engine=engine, jobs=_jobs())
+
+
+@pytest.fixture(scope="session")
+def dataproc_results(engine):
+    return run_all(DATAPROC_WORKLOADS, engine=engine, jobs=_jobs())
+
+
+@pytest.fixture(scope="session")
+def platform_results(engine):
+    return run_all(PLATFORM_WORKLOADS, engine=engine, jobs=_jobs())
 
 
 @pytest.fixture(scope="session")

@@ -27,6 +27,11 @@ Quick start::
 
 from repro.core.config import MementoConfig
 from repro.core.runtime import MementoRuntime
+from repro.harness.engine import (
+    ExperimentEngine,
+    RunRequest,
+    get_default_engine,
+)
 from repro.harness.experiment import run_all, run_workload
 from repro.harness.system import SimulatedSystem
 from repro.kernel.kernel import Kernel
@@ -36,12 +41,15 @@ from repro.workloads.registry import all_workloads, get_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentEngine",
     "Kernel",
     "Machine",
     "MementoConfig",
     "MementoRuntime",
+    "RunRequest",
     "SimulatedSystem",
     "all_workloads",
+    "get_default_engine",
     "get_workload",
     "run_all",
     "run_workload",

@@ -3,7 +3,11 @@
 Commands:
 
 * ``list`` — the 23 workloads with their language/category/parameters.
-* ``run WORKLOAD [...]`` — baseline-vs-Memento for named workloads.
+* ``run WORKLOAD [...]`` — baseline-vs-Memento for named workloads;
+  ``--all`` replays the full 23-workload evaluation, ``--jobs N`` fans
+  the runs out over worker processes, and completed runs persist in the
+  on-disk result cache (``.repro-cache/``) so re-invocations are warm.
+* ``cache info|clear`` — inspect or empty the persistent result cache.
 * ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
 * ``sweep NAME`` — one sensitivity study (populate, multiprocess,
   tuning, fragmentation, coldstart, iso-storage, mallacc, ablation).
@@ -13,7 +17,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.characterize import (
@@ -26,7 +32,15 @@ from repro.analysis.characterize import (
 from repro.analysis.energy import EnergyModel
 from repro.analysis.pricing import PricingModel
 from repro.analysis.report import render_grouped, render_table
-from repro.harness.experiment import run_workload
+from repro.harness.engine import (
+    DEFAULT_CACHE_DIR,
+    DiskCache,
+    ExperimentEngine,
+    RunRequest,
+    cost_model_fingerprint,
+    source_fingerprint,
+)
+from repro.harness.experiment import run_all, run_workload
 from repro.harness import sweeps
 from repro.workloads.registry import all_workloads, get_workload
 from repro.workloads.synth import generate_trace
@@ -53,10 +67,35 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the paper's workloads")
 
     run_parser = sub.add_parser("run", help="run workloads on both stacks")
-    run_parser.add_argument("workloads", nargs="+", metavar="WORKLOAD")
+    run_parser.add_argument("workloads", nargs="*", metavar="WORKLOAD")
+    run_parser.add_argument(
+        "--all", action="store_true", dest="run_all",
+        help="run the full 23-workload evaluation",
+    )
     run_parser.add_argument(
         "--cold-start", action="store_true",
         help="include container setup (§6.6)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent runs (default: 1)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
     )
 
     sub.add_parser(
@@ -92,27 +131,84 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(names: List[str], cold_start: bool) -> int:
+def _progress_line(
+    index: int, total: int, request: RunRequest, source: str, seconds: float
+) -> None:
+    """One status line per run: workload, stack, wall time, hit or live."""
+    status = "live" if source == "live" else "cache hit"
+    print(
+        f"[{index:3d}/{total}] {request.spec.name:<12} "
+        f"{request.stack:<8} {seconds:7.2f}s  {status}",
+        file=sys.stderr,
+    )
+
+
+def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        use_disk_cache=False if args.no_cache else None,
+        progress=_progress_line,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.run_all == bool(args.workloads):
+        print("run: name workloads or pass --all (not both)", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
+    specs = (
+        None
+        if args.run_all
+        else [get_workload(name) for name in args.workloads]
+    )
+    results = run_all(specs, cold_start=args.cold_start, engine=engine)
     pricing = PricingModel()
     rows = []
-    for name in names:
-        result = run_workload(get_workload(name), cold_start=cold_start)
-        split = result.user_kernel_split()
+    for result in results:
+        summary = result.to_dict()
+        split = summary["user_kernel_split"]
         rows.append([
-            name,
-            result.speedup,
+            summary["workload"],
+            summary["speedup"],
             f"{split['user']:.0%}/{split['kernel']:.0%}",
-            result.bandwidth_reduction,
-            result.memento.hot_alloc_hit_rate,
+            summary["bandwidth_reduction"],
+            summary["memento"]["hot_alloc_hit_rate"],
             pricing.normalized_runtime_pricing(result),
         ])
     print(render_table(
         ["workload", "speedup", "mm user/kernel", "bw reduction",
          "HOT alloc hit", "pricing"],
         rows,
-        title=("Cold-started" if cold_start else "Warm") +
+        title=("Cold-started" if args.cold_start else "Warm") +
         " baseline vs Memento",
     ))
+    counters = engine.summary()
+    hits = int(
+        counters.get("engine.memo.hits", 0)
+        + counters.get("engine.disk.hits", 0)
+    )
+    print(
+        f"cache: {hits} hits, {int(counters.get('engine.misses', 0))} live "
+        f"runs in {counters.get('engine.live_seconds', 0.0):.2f}s "
+        f"(jobs={args.jobs})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_cache(action: str, cache_dir: Optional[str]) -> int:
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    cache = DiskCache(Path(cache_dir))
+    if action == "info":
+        info = cache.info()
+        rows = [[key, info[key]] for key in ("path", "entries", "bytes")]
+        rows.append(["source fingerprint", source_fingerprint()])
+        rows.append(["cost-model fingerprint", cost_model_fingerprint()])
+        print(render_table(["field", "value"], rows, title="result cache"))
+    else:
+        print(f"removed {cache.clear()} cache entries")
     return 0
 
 
@@ -183,7 +279,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.workloads, args.cold_start)
+        return cmd_run(args)
+    if args.command == "cache":
+        return cmd_cache(args.action, args.cache_dir)
     if args.command == "characterize":
         return cmd_characterize()
     if args.command == "sweep":

@@ -9,7 +9,8 @@ off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping
 
 NUM_SIZE_CLASSES = 64
 OBJECTS_PER_ARENA = 256
@@ -18,7 +19,13 @@ SMALL_THRESHOLD = NUM_SIZE_CLASSES * 8  # 512 B
 
 @dataclass(frozen=True)
 class MementoConfig:
-    """Tunable parameters of the Memento hardware."""
+    """Tunable parameters of the Memento hardware.
+
+    Frozen (hence hashable and usable inside a
+    :class:`~repro.harness.engine.RunRequest`): every field participates
+    in the experiment engine's content key, so two runs differing in any
+    parameter here occupy distinct cache entries.
+    """
 
     num_size_classes: int = NUM_SIZE_CLASSES
     objects_per_arena: int = OBJECTS_PER_ARENA
@@ -56,6 +63,20 @@ class MementoConfig:
         if not 0 <= size_class < self.num_size_classes:
             raise ValueError(f"size class {size_class} out of range")
         return (size_class + 1) * 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (cache payload / reporting)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MementoConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ValueError(
+                f"unknown MementoConfig fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 DEFAULT_CONFIG = MementoConfig()

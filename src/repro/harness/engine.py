@@ -1,0 +1,513 @@
+"""Parallel experiment engine with a persistent, content-addressed cache.
+
+Every simulated run in the repository is described by a declarative
+:class:`RunRequest` — workload spec, stack, :class:`MementoConfig`,
+:class:`MachineParams`, and replay flags — which hashes into a stable
+content key. :class:`ExperimentEngine` executes batches of requests,
+fanning independent ones out across a ``ProcessPoolExecutor`` (the
+simulator is deterministic, so parallel results are bit-identical to
+serial ones), and stores every completed :class:`RunResult` as a JSON
+artifact under ``.repro-cache/``. The cache key folds in a schema tag
+and a fingerprint of the cycle cost model, so recalibrating the model or
+changing the result format invalidates stale artifacts automatically —
+pay the simulation cost once, restore cheaply forever.
+
+``run_workload``/``run_all`` in :mod:`repro.harness.experiment`, the
+sweeps, the benchmark suite's shared fixtures, and the CLI all route
+through one engine, so a result computed anywhere is a cache hit
+everywhere. Hit/miss/timing counters are recorded in the engine's
+:class:`~repro.sim.stats.Stats` instance under ``engine.*``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.allocators import (
+    GoAllocator,
+    JemallocAllocator,
+    MallaccAllocator,
+    PymallocAllocator,
+)
+from repro.core.config import MementoConfig
+from repro.harness.system import RunResult, SimulatedSystem
+from repro.sim.cycles import CostModel, DEFAULT_COSTS
+from repro.sim.params import MachineParams
+from repro.sim.stats import Stats
+from repro.workloads.synth import WorkloadSpec
+
+#: Bumped whenever the cache payload or key derivation changes shape;
+#: old artifacts simply stop matching and are re-simulated.
+SCHEMA_VERSION = 1
+
+#: Default on-disk cache location (overridable via ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Named baseline-allocator overrides, so a request stays declarative
+#: (and picklable/hashable) instead of carrying a class object.
+ALLOCATOR_REGISTRY: Dict[str, type] = {
+    "pymalloc": PymallocAllocator,
+    "jemalloc": JemallocAllocator,
+    "go": GoAllocator,
+    "mallacc": MallaccAllocator,
+}
+
+#: Progress callback: (index, total, request, source, seconds) where
+#: ``source`` is ``"live"``, ``"cache"``, or ``"memo"``.
+ProgressFn = Callable[[int, int, "RunRequest", str, float], None]
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a request component to a stable, JSON-serializable form.
+
+    Dataclasses are tagged with their class name so two different types
+    with coincidentally equal fields cannot collide.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__type__": type(value).__name__, **body}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def _digest(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cost_model_fingerprint(cost_model: CostModel = DEFAULT_COSTS) -> str:
+    """Stable hash of every calibrated cycle cost.
+
+    Folded into each cache key: recalibrating the model (see
+    ``scripts/apply_calibration.py``) silently invalidates all cached
+    results instead of serving stale metrics.
+    """
+    return _digest(_canonical(cost_model))[:16]
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of the ``repro`` package's own source tree.
+
+    Also folded into every cache key: any change to the simulator —
+    even one that leaves the cost-model constants untouched — retires
+    all persisted artifacts, so the cache can never serve results from
+    an older model of the system.
+    """
+    root = Path(__file__).resolve().parent.parent
+    entries = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            blob = path.read_bytes()
+        except OSError:  # pragma: no cover - racing file removal
+            continue
+        entries.append(
+            [str(path.relative_to(root)), hashlib.sha256(blob).hexdigest()]
+        )
+    return _digest(entries)[:16]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Declarative description of one simulated run.
+
+    Frozen and hashable: requests are dict keys in the engine's
+    in-memory memo and hash into the on-disk content key.
+    """
+
+    spec: WorkloadSpec
+    memento: bool
+    config: MementoConfig = field(default_factory=MementoConfig)
+    machine_params: MachineParams = field(default_factory=MachineParams)
+    cold_start: bool = False
+    mmap_populate: bool = False
+    #: Baseline-allocator override by registry name (e.g. the tuning
+    #: study's resized pymalloc, or the Mallacc comparison point).
+    allocator: Optional[str] = None
+    #: Keyword arguments for the override, as sorted key/value pairs so
+    #: the request stays hashable.
+    allocator_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.allocator is not None and self.allocator not in (
+            ALLOCATOR_REGISTRY
+        ):
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; "
+                f"choose from {sorted(ALLOCATOR_REGISTRY)}"
+            )
+        if self.memento and self.allocator is not None:
+            raise ValueError("allocator overrides apply to the baseline")
+
+    @property
+    def stack(self) -> str:
+        return "memento" if self.memento else "baseline"
+
+    def content_key(self, cost_model: CostModel = DEFAULT_COSTS) -> str:
+        """Stable content hash identifying this run's result.
+
+        Requests that resolve to the same simulation share a key: a spec
+        before and after profile-default resolution, and baseline runs
+        regardless of the (unused) Memento config, so one baseline
+        serves every ablation point of a config sweep.
+        """
+        normalized = dataclasses.replace(self, spec=self.spec.resolved())
+        if not self.memento:
+            normalized = dataclasses.replace(
+                normalized, config=MementoConfig()
+            )
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "source": source_fingerprint(),
+            "cost_model": cost_model_fingerprint(cost_model),
+            "request": _canonical(normalized),
+        }
+        return _digest(payload)
+
+    def build_system(
+        self, cost_model: Optional[CostModel] = None
+    ) -> SimulatedSystem:
+        """Assemble the full stack this request describes."""
+        kwargs: Dict[str, Any] = {}
+        if self.allocator is not None:
+            kwargs["allocator_cls"] = ALLOCATOR_REGISTRY[self.allocator]
+            if self.allocator_kwargs:
+                kwargs["allocator_kwargs"] = dict(self.allocator_kwargs)
+        return SimulatedSystem(
+            self.spec,
+            self.memento,
+            machine_params=self.machine_params,
+            cost_model=cost_model,
+            memento_config=self.config,
+            mmap_populate=self.mmap_populate,
+            cold_start=self.cold_start,
+            **kwargs,
+        )
+
+    def execute(self, cost_model: Optional[CostModel] = None) -> RunResult:
+        """Run the simulation this request describes (no caching)."""
+        return self.build_system(cost_model).run()
+
+
+def _execute_remote(
+    request: RunRequest,
+) -> Tuple[Dict[str, Any], float]:
+    """Worker-process entry point: run and return a serialized result.
+
+    Returns the :meth:`RunResult.to_dict` form so the parallel path and
+    the disk-cache path hand back byte-identical payloads.
+    """
+    started = time.perf_counter()
+    result = request.execute()
+    return result.to_dict(), time.perf_counter() - started
+
+
+class DiskCache:
+    """Flat directory of ``<content-key>.json`` result artifacts."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load an entry, or None when absent/corrupt (corrupt entries
+        are deleted so the re-run can overwrite them cleanly)."""
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._evict(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA_VERSION
+            or "result" not in payload
+        ):
+            self._evict(path)
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist an entry (write-to-temp + rename), so a
+        crashed or concurrent writer can never leave a torn file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            self._evict(path)
+            removed += 1
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        entries = self.entries()
+        return {
+            "path": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+
+class ExperimentEngine:
+    """Executes :class:`RunRequest` batches with caching and parallelism.
+
+    The engine is the single execution path for experiments: it answers
+    each request from (1) an in-process memo holding the live
+    :class:`RunResult` objects, (2) the on-disk JSON cache, or (3) a
+    fresh simulation — serial, or fanned out over ``jobs`` worker
+    processes when a batch holds several misses.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        jobs: int = 1,
+        use_disk_cache: Optional[bool] = None,
+        cost_model: Optional[CostModel] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        if use_disk_cache is None:
+            use_disk_cache = os.environ.get("REPRO_NO_CACHE", "") == ""
+        self.jobs = max(1, int(jobs))
+        self.cost_model = cost_model or DEFAULT_COSTS
+        self.disk = DiskCache(Path(cache_dir)) if use_disk_cache else None
+        self.progress = progress
+        self.stats = Stats()
+        self._memo: Dict[str, RunResult] = {}
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute (or recall) one request."""
+        return self.run_many([request])[0]
+
+    def run_many(
+        self,
+        requests: Sequence[RunRequest],
+        jobs: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Execute a batch, answering from cache where possible.
+
+        Results come back in request order. Duplicate requests within
+        one batch execute once. Misses run in parallel when ``jobs`` (or
+        the engine default) exceeds one and the batch has several.
+        """
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        keys = [request.content_key(self.cost_model) for request in requests]
+        results: Dict[str, RunResult] = {}
+        misses: List[Tuple[str, RunRequest]] = []
+        sources: Dict[str, str] = {}
+        for key, request in zip(keys, requests):
+            if key in results or any(key == k for k, _ in misses):
+                continue
+            hit = self._lookup(key)
+            if hit is not None:
+                results[key] = hit
+                sources[key] = (
+                    "memo" if key in self._memo else "cache"
+                )
+                if key not in self._memo:
+                    self._memo[key] = hit
+            else:
+                misses.append((key, request))
+        self.stats.add("engine.requests", len(requests))
+        self.stats.add("engine.misses", len(misses))
+
+        emitted = 0
+        total = len(results) + len(misses)
+        for key in list(results):
+            emitted += 1
+            self._emit(emitted, total, _request_of(requests, keys, key),
+                       sources[key], 0.0)
+
+        for key, result, elapsed in self._execute_all(misses, jobs):
+            results[key] = result
+            emitted += 1
+            self._emit(emitted, total, _request_of(requests, keys, key),
+                       "live", elapsed)
+        return [results[key] for key in keys]
+
+    def _execute_all(
+        self, misses: Sequence[Tuple[str, RunRequest]], jobs: int
+    ):
+        """Yield ``(key, result, seconds)`` for each miss, parallel when
+        it pays; results round-trip through ``to_dict`` either way so
+        cached, serial, and parallel runs are bit-identical."""
+        started = time.perf_counter()
+        if jobs > 1 and len(misses) > 1:
+            self.stats.add("engine.parallel_batches")
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                payloads = pool.map(
+                    _execute_remote, [req for _, req in misses]
+                )
+                for (key, request), (data, elapsed) in zip(
+                    misses, payloads
+                ):
+                    yield key, self._admit(key, request, data, elapsed), (
+                        elapsed
+                    )
+        else:
+            for key, request in misses:
+                data, elapsed = _execute_remote(request)
+                yield key, self._admit(key, request, data, elapsed), elapsed
+        if misses:
+            self.stats.add(
+                "engine.live_seconds", time.perf_counter() - started
+            )
+
+    # -- cache plumbing --------------------------------------------------
+
+    def _lookup(self, key: str) -> Optional[RunResult]:
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.stats.add("engine.memo.hits")
+            return memo
+        if self.disk is None:
+            return None
+        payload = self.disk.get(key)
+        if payload is None:
+            return None
+        try:
+            result = RunResult.from_dict(payload["result"])
+        except (TypeError, ValueError):
+            # Structurally valid JSON whose result no longer matches the
+            # RunResult schema: treat as corrupt and re-simulate.
+            self.disk._evict(self.disk.path(key))
+            self.stats.add("engine.disk.corrupt")
+            return None
+        self.stats.add("engine.disk.hits")
+        return result
+
+    def _admit(
+        self,
+        key: str,
+        request: RunRequest,
+        data: Dict[str, Any],
+        elapsed: float,
+    ) -> RunResult:
+        result = RunResult.from_dict(data)
+        self._memo[key] = result
+        if self.disk is not None:
+            self.disk.put(
+                key,
+                {
+                    "schema": SCHEMA_VERSION,
+                    "key": key,
+                    "workload": request.spec.name,
+                    "stack": request.stack,
+                    "elapsed_s": elapsed,
+                    "result": data,
+                },
+            )
+            self.stats.add("engine.disk.writes")
+        return result
+
+    def _emit(
+        self,
+        index: int,
+        total: int,
+        request: RunRequest,
+        source: str,
+        seconds: float,
+    ) -> None:
+        if self.progress is not None:
+            self.progress(index, total, request, source, seconds)
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Counter snapshot (``engine.*`` namespace)."""
+        return self.stats.with_prefix("engine")
+
+
+def _request_of(
+    requests: Sequence[RunRequest], keys: Sequence[str], key: str
+) -> RunRequest:
+    return requests[keys.index(key)]
+
+
+# -- the shared default engine ------------------------------------------------
+
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def get_default_engine() -> ExperimentEngine:
+    """The process-wide engine every harness entry point shares.
+
+    Sharing one engine is what makes the in-memory memo global: the CLI,
+    the sweeps, and every benchmark fixture see each other's results.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine()
+    return _default_engine
+
+
+def set_default_engine(
+    engine: Optional[ExperimentEngine],
+) -> Optional[ExperimentEngine]:
+    """Swap the shared engine (tests, CLI flags); returns the old one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

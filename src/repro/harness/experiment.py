@@ -4,18 +4,28 @@
 per-workload metric the evaluation section reports: speedup (Fig. 8), the
 savings breakdown (Fig. 9), bandwidth reduction (Fig. 10), memory usage
 (Fig. 11), HOT hit rates (Fig. 12), and arena list-operation frequency
-(Fig. 13). Results are memoized — the benchmark files all share one set
-of runs.
+(Fig. 13). Runs execute through the shared
+:class:`~repro.harness.engine.ExperimentEngine`, so results are memoized
+in-process (the benchmark files all share one set of runs), persisted
+across processes in the on-disk cache, and — via ``run_all(jobs=N)`` —
+computed in parallel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence
+import math
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.config import MementoConfig
-from repro.harness.system import RunResult, SimulatedSystem
+from repro.harness.engine import (
+    ExperimentEngine,
+    RunRequest,
+    get_default_engine,
+)
+from repro.harness.system import RunResult
+from repro.sim.params import MachineParams
 from repro.workloads.registry import (
     DATAPROC_WORKLOADS,
     FUNCTION_WORKLOADS,
@@ -129,52 +139,151 @@ class WorkloadResult:
         """Share of baseline runtime spent in memory management."""
         return self.baseline.mm_cycles / self.baseline.total_cycles
 
+    # -- serialization ------------------------------------------------------
 
-@lru_cache(maxsize=512)
-def _run_cached(
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable summary: the three raw runs in their
+        :meth:`RunResult.to_dict` round-trip form plus every derived
+        metric the figures consume, so reporting code reads one dict
+        instead of poking fields."""
+        return {
+            "workload": self.spec.name,
+            "language": self.spec.language,
+            "category": self.spec.category,
+            "baseline": self.baseline.to_dict(),
+            "memento": self.memento.to_dict(),
+            "memento_nobypass": self.memento_nobypass.to_dict(),
+            "speedup": self.speedup,
+            "savings": self.savings(),
+            "breakdown": self.breakdown(),
+            "bandwidth_reduction": self.bandwidth_reduction,
+            "bypass_bandwidth_share": self.bypass_bandwidth_share,
+            "memory_usage_ratios": self.memory_usage_ratios(),
+            "user_kernel_split": self.user_kernel_split(),
+            "mm_fraction_of_runtime": self.mm_fraction_of_runtime,
+        }
+
+
+def _deprecated_positional(deprecated: tuple, cold_start: bool) -> bool:
+    if not deprecated:
+        return cold_start
+    if len(deprecated) > 1:
+        raise TypeError(
+            "run_workload/run_all accept at most one positional flag "
+            "(the deprecated cold_start); use keyword arguments"
+        )
+    warnings.warn(
+        "passing cold_start positionally is deprecated; call "
+        "run_workload(spec, cold_start=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return bool(deprecated[0])
+
+
+def workload_requests(
     spec: WorkloadSpec,
-    memento: bool,
-    cold_start: bool,
-    bypass: bool = True,
-) -> RunResult:
-    config = MementoConfig(bypass_enabled=bypass)
-    return SimulatedSystem(
-        spec, memento, cold_start=cold_start, memento_config=config
-    ).run()
+    cold_start: bool = False,
+    config: Optional[MementoConfig] = None,
+    machine_params: Optional[MachineParams] = None,
+) -> List[RunRequest]:
+    """The baseline / Memento / no-bypass request trio for one workload."""
+    config = config or MementoConfig()
+    machine_params = machine_params or MachineParams()
+    common: Dict[str, Any] = {
+        "machine_params": machine_params,
+        "cold_start": cold_start,
+    }
+    return [
+        RunRequest(spec, memento=False, config=config, **common),
+        RunRequest(spec, memento=True, config=config, **common),
+        RunRequest(
+            spec,
+            memento=True,
+            config=replace(config, bypass_enabled=False),
+            **common,
+        ),
+    ]
 
 
 def run_workload(
-    spec: WorkloadSpec, cold_start: bool = False
+    spec: WorkloadSpec,
+    *deprecated,
+    cold_start: bool = False,
+    config: Optional[MementoConfig] = None,
+    machine_params: Optional[MachineParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> WorkloadResult:
-    """Run (or fetch the memoized) baseline + Memento + no-bypass trio."""
+    """Run (or recall) the baseline + Memento + no-bypass trio.
+
+    ``config``/``machine_params``/``cold_start`` are keyword-only, so
+    non-default configurations flow into the engine's content key (and
+    therefore share the cache) instead of silently falling outside the
+    memoized path.
+    """
+    cold_start = _deprecated_positional(deprecated, cold_start)
+    engine = engine or get_default_engine()
+    baseline, memento, nobypass = engine.run_many(
+        workload_requests(spec, cold_start, config, machine_params)
+    )
     return WorkloadResult(
         spec=spec,
-        baseline=_run_cached(spec, False, cold_start),
-        memento=_run_cached(spec, True, cold_start),
-        memento_nobypass=_run_cached(spec, True, cold_start, bypass=False),
+        baseline=baseline,
+        memento=memento,
+        memento_nobypass=nobypass,
     )
 
 
 def run_all(
     specs: Optional[Sequence[WorkloadSpec]] = None,
+    *deprecated,
     cold_start: bool = False,
+    config: Optional[MementoConfig] = None,
+    machine_params: Optional[MachineParams] = None,
+    engine: Optional[ExperimentEngine] = None,
+    jobs: Optional[int] = None,
 ) -> List[WorkloadResult]:
-    """Run every workload (functions + data proc + platform by default)."""
+    """Run every workload (functions + data proc + platform by default).
+
+    The whole batch is handed to the engine at once, so with ``jobs > 1``
+    independent runs fan out across worker processes.
+    """
+    cold_start = _deprecated_positional(deprecated, cold_start)
     if specs is None:
         specs = (
             FUNCTION_WORKLOADS + DATAPROC_WORKLOADS + PLATFORM_WORKLOADS
         )
-    return [run_workload(spec, cold_start) for spec in specs]
+    engine = engine or get_default_engine()
+    requests: List[RunRequest] = []
+    for spec in specs:
+        requests.extend(
+            workload_requests(spec, cold_start, config, machine_params)
+        )
+    results = engine.run_many(requests, jobs=jobs)
+    return [
+        WorkloadResult(
+            spec=spec,
+            baseline=results[i],
+            memento=results[i + 1],
+            memento_nobypass=results[i + 2],
+        )
+        for spec, i in zip(specs, range(0, len(results), 3))
+    ]
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geomean helper for speedup averages."""
+    """Geomean accumulated in log space, immune to overflow/underflow
+    of the running product on long result lists."""
     if not values:
         raise ValueError("geometric mean of no values")
-    product = 1.0
+    total = 0.0
     for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+        if value <= 0:
+            raise ValueError(
+                f"geometric mean requires positive values, got {value!r}"
+            )
+        total += math.log(value)
+    return math.exp(total / len(values))
 
 
 def average_speedup(results: Sequence[WorkloadResult]) -> float:

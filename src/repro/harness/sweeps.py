@@ -3,6 +3,14 @@
 Each study returns plain dicts/lists the benchmarks render; all runs are
 deterministic. Studies that need many runs shrink the traces (the effects
 under study are rate-based, not length-based).
+
+Studies that replay complete, independent runs (populate, tuning,
+coldstart, iso-storage, mallacc, ablation) are expressed as
+:class:`~repro.harness.engine.RunRequest` batches on the shared
+:class:`~repro.harness.engine.ExperimentEngine`, so they hit the same
+persistent cache as every other entry point. The multi-process and
+fragmentation studies genuinely need co-located systems or mid-run
+sampling and keep constructing :class:`SimulatedSystem` directly.
 """
 
 from __future__ import annotations
@@ -11,15 +19,14 @@ import random
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.allocators.mallacc import MallaccAllocator
-from repro.allocators.pymalloc import PymallocAllocator
 from repro.core.config import MementoConfig
 from repro.core.page_allocator import HardwarePageAllocator
-from repro.harness.experiment import (
-    WorkloadResult,
-    geometric_mean,
-    run_workload,
+from repro.harness.engine import (
+    ExperimentEngine,
+    RunRequest,
+    get_default_engine,
 )
+from repro.harness.experiment import geometric_mean
 from repro.harness.system import SimulatedSystem
 from repro.kernel.kernel import Kernel
 from repro.sim.machine import Machine
@@ -39,6 +46,7 @@ def _shrunk(spec: WorkloadSpec, num_allocs: int = 8_000) -> WorkloadSpec:
 
 def populate_study(
     specs: Optional[Sequence[WorkloadSpec]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """MAP_POPULATE: eager backing vs demand paging on the baseline.
 
@@ -54,12 +62,17 @@ def populate_study(
         replace(get_workload("US"), warm_heap=False),
         get_workload("html-go"),
     ]
+    engine = engine or get_default_engine()
+    # Full-size traces: population cost amortizes over the heap the
+    # function actually touches, which is what the study measures.
+    requests = [
+        RunRequest(spec, memento=False, mmap_populate=populate)
+        for spec in specs
+        for populate in (False, True)
+    ]
+    runs = engine.run_many(requests)
     out: Dict[str, Dict[str, float]] = {}
-    for spec in specs:
-        # Full-size traces: population cost amortizes over the heap the
-        # function actually touches, which is what the study measures.
-        lazy = SimulatedSystem(spec, memento=False).run()
-        eager = SimulatedSystem(spec, memento=False, mmap_populate=True).run()
+    for spec, (lazy, eager) in zip(specs, zip(runs[::2], runs[1::2])):
         out[spec.name] = {
             "language": spec.language,
             "speedup": lazy.total_cycles / eager.total_cycles,
@@ -157,18 +170,25 @@ def _dispatch(system: SimulatedSystem, event) -> None:
 # ------------------------------------------------------------- §6.6 tuning
 
 
-def tuning_study(arena_sizes: Sequence[int] = (256 * 1024, 1024 * 1024)):
+def tuning_study(
+    arena_sizes: Sequence[int] = (256 * 1024, 1024 * 1024),
+    engine: Optional[ExperimentEngine] = None,
+):
     """Enlarge pymalloc's arena size: fewer mmaps, ~<1 % speedup change."""
     spec = _shrunk(get_workload("html"), num_allocs=12_000)
-    memento = SimulatedSystem(spec, memento=True).run()
-    out = {}
-    for arena_bytes in arena_sizes:
-        baseline = SimulatedSystem(
+    engine = engine or get_default_engine()
+    requests = [RunRequest(spec, memento=True)] + [
+        RunRequest(
             spec,
             memento=False,
-            allocator_cls=PymallocAllocator,
-            allocator_kwargs={"arena_bytes": arena_bytes},
-        ).run()
+            allocator="pymalloc",
+            allocator_kwargs=(("arena_bytes", arena_bytes),),
+        )
+        for arena_bytes in arena_sizes
+    ]
+    memento, *baselines = engine.run_many(requests)
+    out = {}
+    for arena_bytes, baseline in zip(arena_sizes, baselines):
         out[arena_bytes] = {
             "speedup": baseline.total_cycles / memento.total_cycles,
             "mmap_calls": baseline.stats["kernel.syscall.mmap_calls"],
@@ -236,31 +256,47 @@ def fragmentation_study(
 
 def coldstart_study(
     specs: Optional[Sequence[WorkloadSpec]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, float]:
     """Cold-started speedups (container setup included): 7-22 % paper."""
     specs = specs or FUNCTION_WORKLOADS
-    return {
-        spec.name: run_workload(spec, cold_start=True).speedup
+    engine = engine or get_default_engine()
+    requests = [
+        RunRequest(spec, memento=memento, cold_start=True)
         for spec in specs
+        for memento in (False, True)
+    ]
+    runs = engine.run_many(requests)
+    return {
+        spec.name: baseline.total_cycles / memento.total_cycles
+        for spec, (baseline, memento) in zip(
+            specs, zip(runs[::2], runs[1::2])
+        )
     }
 
 
 # --------------------------------------------------------- §6.1 iso-storage
 
 
-def iso_storage_study(workload: str = "html") -> Dict[str, float]:
+def iso_storage_study(
+    workload: str = "html",
+    engine: Optional[ExperimentEngine] = None,
+) -> Dict[str, float]:
     """Grant the HOT's SRAM to the L1D (9-way) instead of adding Memento.
 
     The paper sees ~3 % from the bigger L1D vs 28 % from Memento on dh.
     """
     spec = get_workload(workload)
-    baseline = SimulatedSystem(spec, memento=False).run()
-    bigger_l1 = SimulatedSystem(
-        spec,
-        memento=False,
-        machine_params=MachineParams().with_iso_storage_l1d(),
-    ).run()
-    memento = SimulatedSystem(spec, memento=True).run()
+    engine = engine or get_default_engine()
+    baseline, bigger_l1, memento = engine.run_many([
+        RunRequest(spec, memento=False),
+        RunRequest(
+            spec,
+            memento=False,
+            machine_params=MachineParams().with_iso_storage_l1d(),
+        ),
+        RunRequest(spec, memento=True),
+    ])
     return {
         "iso_storage_speedup": baseline.total_cycles / bigger_l1.total_cycles,
         "memento_speedup": baseline.total_cycles / memento.total_cycles,
@@ -270,15 +306,22 @@ def iso_storage_study(workload: str = "html") -> Dict[str, float]:
 # ------------------------------------------------------------- §6.7 Mallacc
 
 
-def mallacc_study() -> Dict[str, Dict[str, float]]:
+def mallacc_study(
+    engine: Optional[ExperimentEngine] = None,
+) -> Dict[str, Dict[str, float]]:
     """Idealized Mallacc vs Memento on the DeathStarBench C++ functions."""
-    out = {}
+    engine = engine or get_default_engine()
+    requests = []
     for spec in CPP_FUNCTIONS:
-        baseline = SimulatedSystem(spec, memento=False).run()
-        mallacc = SimulatedSystem(
-            spec, memento=False, allocator_cls=MallaccAllocator
-        ).run()
-        memento = SimulatedSystem(spec, memento=True).run()
+        requests += [
+            RunRequest(spec, memento=False),
+            RunRequest(spec, memento=False, allocator="mallacc"),
+            RunRequest(spec, memento=True),
+        ]
+    runs = engine.run_many(requests)
+    out = {}
+    for index, spec in enumerate(CPP_FUNCTIONS):
+        baseline, mallacc, memento = runs[index * 3:index * 3 + 3]
         out[spec.name] = {
             "mallacc_speedup": baseline.total_cycles / mallacc.total_cycles,
             "memento_speedup": baseline.total_cycles / memento.total_cycles,
@@ -297,21 +340,26 @@ def mallacc_study() -> Dict[str, Dict[str, float]]:
 # ----------------------------------------------------------------- ablations
 
 
-def ablation_study(workload: str = "html") -> Dict[str, float]:
+def ablation_study(
+    workload: str = "html",
+    engine: Optional[ExperimentEngine] = None,
+) -> Dict[str, float]:
     """Design-choice ablations from DESIGN.md §5: speedups vs baseline."""
     spec = get_workload(workload)
-    baseline = SimulatedSystem(spec, memento=False).run()
-
-    def speedup(config: MementoConfig) -> float:
-        run = SimulatedSystem(spec, memento=True, memento_config=config).run()
-        return baseline.total_cycles / run.total_cycles
-
+    engine = engine or get_default_engine()
+    configs = {
+        "full": MementoConfig(),
+        "no_bypass": MementoConfig(bypass_enabled=False),
+        "no_eager_refill": MementoConfig(eager_refill=False),
+        "small_arenas_64": MementoConfig(objects_per_arena=64),
+        "large_arenas_1024": MementoConfig(objects_per_arena=1024),
+    }
+    requests = [RunRequest(spec, memento=False)] + [
+        RunRequest(spec, memento=True, config=config)
+        for config in configs.values()
+    ]
+    baseline, *treatments = engine.run_many(requests)
     return {
-        "full": speedup(MementoConfig()),
-        "no_bypass": speedup(MementoConfig(bypass_enabled=False)),
-        "no_eager_refill": speedup(MementoConfig(eager_refill=False)),
-        "small_arenas_64": speedup(MementoConfig(objects_per_arena=64)),
-        "large_arenas_1024": speedup(
-            MementoConfig(objects_per_arena=1024)
-        ),
+        name: baseline.total_cycles / run.total_cycles
+        for name, run in zip(configs, treatments)
     }

@@ -10,8 +10,8 @@ management.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
 
 from repro.allocators import ALLOCATOR_BY_LANGUAGE
 from repro.allocators.jemalloc import JemallocAllocator
@@ -68,6 +68,25 @@ class RunResult:
     allocs: int = 0
     frees: int = 0
     stats: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (the disk-cache payload format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict`; raises on unknown or missing keys
+        so a corrupted cache entry fails loudly at deserialization time."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunResult fields: {sorted(unknown)}")
+        result = cls(**dict(data))
+        if not isinstance(result.name, str) or not isinstance(
+            result.cycles, dict
+        ):
+            raise ValueError("malformed RunResult payload")
+        return result
 
     @property
     def total_pages_aggregate(self) -> int:

@@ -32,6 +32,63 @@ def test_run_unknown_workload_raises():
         main(["run", "not-a-workload"])
 
 
+def test_run_requires_names_or_all(capsys):
+    assert main(["run"]) == 2
+    assert main(["run", "aes", "--all"]) == 2
+
+
+def test_run_all_with_jobs(capsys, monkeypatch, tmp_path):
+    # Shrink the world to two workloads so --all stays fast.
+    from dataclasses import replace
+    import repro.harness.experiment as experiment
+
+    small = [
+        replace(spec, num_allocs=1_200)
+        for spec in experiment.FUNCTION_WORKLOADS[:2]
+    ]
+    monkeypatch.setattr(experiment, "FUNCTION_WORKLOADS", small)
+    monkeypatch.setattr(experiment, "DATAPROC_WORKLOADS", [])
+    monkeypatch.setattr(experiment, "PLATFORM_WORKLOADS", [])
+    assert main([
+        "run", "--all", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    captured = capsys.readouterr()
+    for spec in small:
+        assert spec.name in captured.out
+    # Per-run progress lines go to stderr: workload, stack, hit-or-live.
+    assert "live" in captured.err and "baseline" in captured.err
+    # A second invocation is answered from the persistent cache.
+    assert main([
+        "run", "--all",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    assert "cache hit" in capsys.readouterr().err
+
+
+def test_cache_info_and_clear(capsys, tmp_path, monkeypatch):
+    from dataclasses import replace
+    import repro.cli as cli
+
+    original = cli.get_workload
+    monkeypatch.setattr(
+        cli, "get_workload",
+        lambda name: replace(original(name), num_allocs=1_000),
+    )
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "aes", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "3" in out
+
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 3" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    assert "0" in capsys.readouterr().out
+
+
 def test_sweep_choices_validated():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sweep", "bogus"])
