@@ -51,7 +51,7 @@ def size_class_index(size: int) -> int:
     return aligned // 8 - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Allocation:
     """Bookkeeping for one live allocation."""
 
@@ -90,7 +90,38 @@ class SoftwareAllocator(abc.ABC):
         #: unmetered (C++ functions against a retained jemalloc heap).
         self.warm = False
         self.touch = touch or (lambda core, addr, write, cat: None)
+        # Pre-specialized header-touch callbacks for the malloc/free fast
+        # paths (category and write flag folded in). The harness attaches
+        # them to its touch closure; plain callables fall back to a shim.
+        self.touch_alloc = getattr(touch, "alloc", None) or (
+            lambda core, addr: self.touch(core, addr, True, "user_alloc")
+        )
+        self.touch_free = getattr(touch, "free", None) or (
+            lambda core, addr: self.touch(core, addr, True, "user_free")
+        )
         self.stats = kernel.machine.stats.scoped(f"alloc.{self.name}")
+        # Interned per-operation cells (one bump per malloc/free).
+        self._allocs = self.stats.counter("allocs")
+        self._frees = self.stats.counter("frees")
+        self._alloc_fast = self.stats.counter("alloc_fast")
+        self._alloc_slow = self.stats.counter("alloc_slow")
+        self._free_fast = self.stats.counter("free_fast")
+        self._free_slow = self.stats.counter("free_slow")
+        # Cycle cells for the two userspace charge categories (same store
+        # Core.charge would hit; bound here to skip the dispatch).
+        machine_stats = kernel.machine.stats
+        self._ua_cycles = machine_stats.counter("cycles.user_alloc")
+        self._uf_cycles = machine_stats.counter("cycles.user_free")
+        # Fast-path cycle constants, hoisted so subclasses can charge
+        # inline (same arithmetic _charge_alloc/_charge_free perform).
+        # The inline form is only valid when the charge hooks are not
+        # overridden (Mallacc overrides them to model its malloc cache).
+        self._c_alloc_fast = self.costs.alloc_fast
+        self._c_free_fast = self.costs.free_fast
+        self._plain_charges = (
+            type(self)._charge_alloc is SoftwareAllocator._charge_alloc
+            and type(self)._charge_free is SoftwareAllocator._charge_free
+        )
         self.live: Dict[int, Allocation] = {}
         from repro.allocators.glibc_large import LargeAllocator
 
@@ -106,13 +137,13 @@ class SoftwareAllocator(abc.ABC):
         """Allocate ``size`` bytes; returns the (virtual) address."""
         if size <= 0:
             raise ValueError("allocation size must be positive")
-        if align8(size) > SMALL_THRESHOLD and self.large is not self:
+        if (size + 7) & ~7 > SMALL_THRESHOLD and self.large is not self:
             addr = self.large.malloc(core, size)
             self.live[addr] = Allocation(addr, size, -1)
             return addr
         allocation = self._malloc_small(core, size)
         self.live[allocation.addr] = allocation
-        self.stats.add("allocs")
+        self._allocs.pending += 1
         return allocation.addr
 
     def free(self, core: "Core", addr: int) -> None:
@@ -124,7 +155,48 @@ class SoftwareAllocator(abc.ABC):
             self.large.free(core, addr)
             return
         self._free_small(core, allocation)
-        self.stats.add("frees")
+        self._frees.pending += 1
+
+    def _bind_fast_paths(self) -> None:
+        """Shadow ``malloc``/``free`` with closures over the routing state.
+
+        Called by a subclass at the end of its ``__init__`` (after any
+        small-path closures are in place) so the public entry points skip
+        method dispatch and the ``self`` attribute loads. The closures
+        are behaviorally identical to the methods above.
+        """
+        malloc_small = self._malloc_small
+        free_small = self._free_small
+        live = self.live
+        large = self.large
+        allocs = self._allocs
+        frees = self._frees
+        route_large = large is not self
+
+        def malloc(core, size):
+            if size <= 0:
+                raise ValueError("allocation size must be positive")
+            if (size + 7) & ~7 > SMALL_THRESHOLD and route_large:
+                addr = large.malloc(core, size)
+                live[addr] = Allocation(addr, size, -1)
+                return addr
+            allocation = malloc_small(core, size)
+            live[allocation.addr] = allocation
+            allocs.pending += 1
+            return allocation.addr
+
+        def free(core, addr):
+            allocation = live.pop(addr, None)
+            if allocation is None:
+                raise DoubleFreeError(f"{addr:#x} is not a live allocation")
+            if allocation.size_class < 0 and route_large:
+                large.free(core, addr)
+                return
+            free_small(core, allocation)
+            frees.pending += 1
+
+        self.malloc = malloc
+        self.free = free
 
     def teardown(self, core: "Core") -> None:
         """Release everything at process exit (batch free by the OS).
@@ -166,16 +238,18 @@ class SoftwareAllocator(abc.ABC):
         self.kernel.syscalls.munmap(core, self.process, addr)
 
     def _charge_alloc(self, core: "Core", cycles: int, fast: bool) -> None:
-        core.charge(cycles, "user_alloc")
-        self.stats.add("alloc_fast" if fast else "alloc_slow")
+        core.cycles += cycles
+        self._ua_cycles.pending += cycles
+        (self._alloc_fast if fast else self._alloc_slow).pending += 1
         if not fast:
             # Slow paths run cold allocator code and walk metadata that
             # rarely stays cached across their long reuse distance.
             self.machine.dram.record_bulk_bytes(384, write=False)
 
     def _charge_free(self, core: "Core", cycles: int, fast: bool) -> None:
-        core.charge(cycles, "user_free")
-        self.stats.add("free_fast" if fast else "free_slow")
+        core.cycles += cycles
+        self._uf_cycles.pending += cycles
+        (self._free_fast if fast else self._free_slow).pending += 1
         if not fast:
             self.machine.dram.record_bulk_bytes(256, write=False)
 

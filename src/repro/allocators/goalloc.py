@@ -104,26 +104,107 @@ class GoAllocator(SoftwareAllocator):
         self._owner: Dict[int, Span] = {}
         self._garbage: List[Allocation] = []
         self.gc_runs = 0
+        self._c_alloc_fast_gc = (
+            self.costs.alloc_fast + self.costs.gc_per_object
+        )
+        # Shadow the small-path methods with closures when the plain
+        # charge hooks apply (subclass overrides keep method dispatch).
+        if (
+            self._plain_charges
+            and type(self)._malloc_small is GoAllocator._malloc_small
+            and type(self)._free_small is GoAllocator._free_small
+        ):
+            self._malloc_small = self._make_malloc_small()
+            self._free_small = self._make_free_small()
+        self._bind_fast_paths()
+
+    def _make_malloc_small(self):
+        nonfull_spans = self._nonfull_spans
+        owner = self._owner
+        new_span = self._new_span
+        c_alloc = self._c_alloc_fast_gc
+        ua_cycles = self._ua_cycles
+        alloc_fast = self._alloc_fast
+        touch_alloc = self.touch_alloc
+        gc = self.gc
+        collect = self.collect
+
+        def _malloc_small(core, size):
+            aligned = (size + 7) & ~7
+            if size <= 0 or aligned > 512:
+                size_class_index(size)  # raises with the canonical message
+            size_class = aligned // 8 - 1
+            spans = nonfull_spans.get(size_class)
+            if spans is None:
+                spans = nonfull_spans[size_class] = []
+            if not spans:
+                spans.append(new_span(core, size_class))
+            span = spans[0]
+            offset = span.free_offsets.pop()
+            span.allocated.add(offset)
+            if not span.free_offsets:
+                spans.pop(0)
+            core.cycles += c_alloc
+            ua_cycles.pending += c_alloc
+            alloc_fast.pending += 1
+            touch_alloc(core, span.base)
+            addr = span.base + offset
+            owner[addr] = span
+            # Inlined gc.on_alloc(object_size).
+            gc.heap_live += (size_class + 1) * 8
+            if gc.heap_live >= gc._goal:
+                collect(core)
+            return Allocation(addr, size, size_class)
+
+        return _malloc_small
+
+    def _make_free_small(self):
+        owner = self._owner
+        garbage = self._garbage
+        on_dead = self.gc.on_dead
+
+        def _free_small(core, allocation):
+            if allocation.addr not in owner:
+                raise AllocationError(
+                    f"{allocation.addr:#x} is not a live Go object"
+                )
+            garbage.append(allocation)
+            on_dead(allocation.size)
+
+        return _free_small
 
     # -- allocation ------------------------------------------------------------
 
     def _malloc_small(self, core: "Core", size: int) -> Allocation:
-        size_class = size_class_index(size)
-        spans = self._nonfull_spans.setdefault(size_class, [])
+        aligned = (size + 7) & ~7
+        if size <= 0 or aligned > 512:
+            size_class_index(size)  # raises with the canonical message
+        size_class = aligned // 8 - 1
+        spans = self._nonfull_spans.get(size_class)
+        if spans is None:
+            spans = self._nonfull_spans[size_class] = []
         if not spans:
             spans.append(self._new_span(core, size_class))
         span = spans[0]
         offset = span.free_offsets.pop()
         span.allocated.add(offset)
-        if span.is_full:
+        if not span.free_offsets:
             spans.pop(0)
-        self._charge_alloc(
-            core, self.costs.alloc_fast + self.costs.gc_per_object, fast=True
-        )
-        self.touch(core, span.base, True, "user_alloc")
+        if self._plain_charges:
+            # Inlined _charge_alloc(core, alloc_fast + gc_per_object, True).
+            cycles = self._c_alloc_fast_gc
+            core.cycles += cycles
+            self._ua_cycles.pending += cycles
+            self._alloc_fast.pending += 1
+        else:
+            self._charge_alloc(core, self._c_alloc_fast_gc, fast=True)
+        self.touch_alloc(core, span.base)
         addr = span.base + offset
         self._owner[addr] = span
-        if self.gc.on_alloc((size_class + 1) * 8):
+        # Inlined gc.on_alloc(object_size).
+        gc = self.gc
+        gc.heap_live += (size_class + 1) * 8
+        if gc.heap_live >= gc._goal:
             self.collect(core)
         return Allocation(addr, size, size_class)
 

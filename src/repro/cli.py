@@ -109,6 +109,34 @@ def build_parser() -> argparse.ArgumentParser:
         "energy", help="energy comparison for one workload"
     )
     energy_parser.add_argument("workload", metavar="WORKLOAD")
+
+    bench_parser = sub.add_parser(
+        "bench", help="replay-throughput microbenchmark (BENCH_<date>.json)"
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny traces, one repeat: crash check for CI, not a timing",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="best-of-N timing per workload/stack (default 7; smoke 1)",
+    )
+    bench_parser.add_argument(
+        "--num-allocs", type=int, default=None, metavar="N",
+        help="trace size override (default 8000; smoke 500)",
+    )
+    bench_parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="WORKLOAD",
+        help="workloads to bench (default: html Redis deploy)",
+    )
+    bench_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output JSON path (default: ./BENCH_<date>.json)",
+    )
+    bench_parser.add_argument(
+        "--compare", default=None, metavar="JSON",
+        help="previous BENCH_*.json to compute per-key speedups against",
+    )
     return parser
 
 
@@ -274,6 +302,51 @@ def cmd_energy(name: str) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness import perfbench
+
+    payload = perfbench.run_bench(
+        smoke=args.smoke,
+        repeats=args.repeats,
+        num_allocs=args.num_allocs,
+        workloads=args.workloads or None,
+        compare_path=Path(args.compare) if args.compare else None,
+    )
+    out = (
+        Path(args.out)
+        if args.out
+        else perfbench.default_output_path(Path.cwd(), smoke=args.smoke)
+    )
+    perfbench.write_bench(payload, out)
+    rows = [
+        [
+            key,
+            row["events"],
+            f"{row['seconds'] * 1e3:.1f}",
+            f"{row['events_per_sec']:,.0f}",
+        ]
+        for key, row in sorted(payload["replay"].items())
+    ]
+    print(render_table(
+        ["workload/stack", "events", "best ms", "events/sec"],
+        rows,
+        title="Replay throughput" + (" (smoke)" if args.smoke else ""),
+    ))
+    if "engine_cache" in payload:
+        cache = payload["engine_cache"]
+        print(
+            f"engine cache: miss {cache['miss_seconds'] * 1e3:.1f} ms, "
+            f"disk hit {cache['disk_hit_seconds'] * 1e3:.1f} ms "
+            f"({cache['disk_hit_speedup']:.0f}x), "
+            f"memo hit {cache['memo_hit_seconds'] * 1e3:.3f} ms"
+        )
+    if "comparison" in payload:
+        for key, ratio in sorted(payload["comparison"]["speedup"].items()):
+            print(f"  {key}: {ratio:.2f}x vs {payload['comparison']['reference']}")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -288,6 +361,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_sweep(args.name)
     if args.command == "energy":
         return cmd_energy(args.workload)
+    if args.command == "bench":
+        return cmd_bench(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

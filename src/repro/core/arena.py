@@ -56,6 +56,14 @@ class ArenaHeader:
     #: Which per-class list the arena currently sits on ("available",
     #: "full", or None while resident in the HOT). Maintained by ArenaList.
     list_name: Optional[str] = field(default=None, repr=False)
+    #: Object size in bytes; creators that replay allocations through the
+    #: header set it so address math needs no config lookup.
+    obj_size: int = field(default=0, repr=False, compare=False)
+    #: All-allocated bitmap value, fixed by ``objects``.
+    full_mask: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.full_mask = (1 << self.objects) - 1
 
     # -- bitmap operations (what the HOT manipulates) -----------------------
 
@@ -65,10 +73,19 @@ class ArenaHeader:
         Hardware scans the bitmap with a priority encoder; lowest index
         first keeps allocation addresses dense.
         """
-        if self.is_full:
+        inverted = ~self.bitmap & self.full_mask
+        if not inverted:
             return None
-        inverted = ~self.bitmap & ((1 << self.objects) - 1)
         return (inverted & -inverted).bit_length() - 1
+
+    def take_next_slot(self) -> int:
+        """Claim and return the lowest free slot — the priority-encoder
+        scan and the bitmap set fused for the alloc hot path. The caller
+        guarantees the arena is not full."""
+        inverted = ~self.bitmap & self.full_mask
+        bit = inverted & -inverted
+        self.bitmap |= bit
+        return bit.bit_length() - 1
 
     def set_slot(self, index: int) -> None:
         """Mark object ``index`` allocated."""
@@ -96,7 +113,7 @@ class ArenaHeader:
 
     @property
     def is_full(self) -> bool:
-        return self.bitmap == (1 << self.objects) - 1
+        return self.bitmap == self.full_mask
 
     @property
     def is_empty(self) -> bool:

@@ -29,10 +29,22 @@ COUNTER_MAX = (1 << 11) - 1
 class BypassEngine:
     """Decides, per line access, whether DRAM can be bypassed."""
 
+    __slots__ = (
+        "config",
+        "enabled",
+        "stats",
+        "_bypassed_lines",
+        "_regular_lines",
+        "_counter_decrements",
+    )
+
     def __init__(self, config: MementoConfig, stats) -> None:
         self.config = config
         self.enabled = config.bypass_enabled
         self.stats = stats
+        self._bypassed_lines = stats.counter("bypassed_lines")
+        self._regular_lines = stats.counter("regular_lines")
+        self._counter_decrements = stats.counter("counter_decrements")
 
     def access(
         self,
@@ -51,15 +63,21 @@ class BypassEngine:
         virtual address for callers without a translation in hand); the
         counter math always uses the virtual ``addr``.
         """
-        line_index = header.body_line_index(addr)
-        bypassable = self.enabled and line_index >= header.bypass_counter
+        # (addr - va) // LINE_SIZE, inlined from header.body_line_index —
+        # this runs once per simulated line touch on the Memento stack.
+        line_index = (addr - header.va) >> 6
         if line_index >= header.bypass_counter:
-            header.bypass_counter = min(line_index + 1, COUNTER_MAX)
+            bypassable = self.enabled
+            header.bypass_counter = (
+                line_index + 1 if line_index < COUNTER_MAX else COUNTER_MAX
+            )
+        else:
+            bypassable = False
         target = cache_addr if cache_addr is not None else addr
         if bypassable:
-            self.stats.add("bypassed_lines")
+            self._bypassed_lines.pending += 1
             return core.caches.instantiate(target, write=write)
-        self.stats.add("regular_lines")
+        self._regular_lines.pending += 1
         return core.caches.access(target, write=write)
 
     def on_free(self, header: ArenaHeader, addr: int, size: int) -> None:
@@ -69,4 +87,4 @@ class BypassEngine:
         last_line = (addr + size - 1) // LINE_SIZE - header.va // LINE_SIZE
         if last_line + 1 == header.bypass_counter:
             header.bypass_counter = header.body_line_index(addr)
-            self.stats.add("counter_decrements")
+            self._counter_decrements.add()

@@ -17,7 +17,7 @@ from repro.core.config import MementoConfig
 from repro.sim.stats import ScopedStats
 
 
-@dataclass
+@dataclass(slots=True)
 class HotEntry:
     """One HOT entry: cached header + PA + list heads (Fig. 5b).
 
@@ -36,12 +36,30 @@ class HotEntry:
 class HardwareObjectTable:
     """64-entry direct-mapped cache of per-size-class arena headers."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "entries",
+        "_fills",
+        "_alloc_hits",
+        "_alloc_misses",
+        "_free_hits",
+        "_free_misses",
+    )
+
     def __init__(self, config: MementoConfig, stats: ScopedStats) -> None:
         self.config = config
         self.stats = stats
         self.entries: List[HotEntry] = [
             HotEntry() for _ in range(config.num_size_classes)
         ]
+        # Interned counter cells: record_alloc/record_free run once per
+        # obj-alloc/obj-free — the hottest counters in the Memento stack.
+        self._fills = stats.counter("fills")
+        self._alloc_hits = stats.counter("alloc_hits")
+        self._alloc_misses = stats.counter("alloc_misses")
+        self._free_hits = stats.counter("free_hits")
+        self._free_misses = stats.counter("free_misses")
 
     def lookup(self, size_class: int) -> HotEntry:
         """Direct-mapped index by size class (no search)."""
@@ -52,14 +70,14 @@ class HardwareObjectTable:
         entry = self.entries[size_class]
         replaced = entry.header
         entry.header = header
-        self.stats.add("fills")
+        self._fills.add()
         return replaced
 
     def record_alloc(self, hit: bool) -> None:
-        self.stats.add("alloc_hits" if hit else "alloc_misses")
+        (self._alloc_hits if hit else self._alloc_misses).pending += 1
 
     def record_free(self, hit: bool) -> None:
-        self.stats.add("free_hits" if hit else "free_misses")
+        (self._free_hits if hit else self._free_misses).pending += 1
 
     def alloc_hit_rate(self) -> float:
         """Fraction of obj-alloc requests satisfied by the resident entry."""

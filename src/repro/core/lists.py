@@ -22,11 +22,24 @@ class ArenaList:
     fields in the in-memory headers through the cache hierarchy).
     """
 
+    __slots__ = (
+        "name",
+        "stats",
+        "head",
+        "_length",
+        "_pushes",
+        "_removes",
+        "_pointer_updates",
+    )
+
     def __init__(self, name: str, stats: ScopedStats) -> None:
         self.name = name
         self.stats = stats
         self.head: Optional[ArenaHeader] = None
         self._length = 0
+        self._pushes = stats.counter("pushes")
+        self._removes = stats.counter("removes")
+        self._pointer_updates = stats.counter("pointer_updates")
 
     def push_head(self, header: ArenaHeader) -> int:
         """Insert at the head; returns the number of pointer updates."""
@@ -43,8 +56,8 @@ class ArenaList:
             updates += 1
         self.head = header
         self._length += 1
-        self.stats.add("pushes")
-        self.stats.add("pointer_updates", updates)
+        self._pushes.add()
+        self._pointer_updates.add(updates)
         return updates
 
     def pop_head(self) -> Optional[ArenaHeader]:
@@ -73,8 +86,8 @@ class ArenaList:
         header.next = None
         header.list_name = None
         self._length -= 1
-        self.stats.add("removes")
-        self.stats.add("pointer_updates", updates)
+        self._removes.add()
+        self._pointer_updates.add(updates)
         return updates
 
     def __len__(self) -> int:

@@ -61,45 +61,72 @@ class HardwareObjectAllocator:
         self.headers: Dict[int, ArenaHeader] = {}
         #: Arena refills already started by the eager-refill optimization.
         self._refill_hidden: Dict[int, bool] = {}
+        # Hot-path hoists: obj-alloc/obj-free run once per trace Alloc/Free
+        # event, so the region geometry, HOT entry array, fixed cycle
+        # charges, and counter cells are all bound here once.
+        self._mrs = region.mrs
+        self._mre = region.mre
+        self._per_class = region.per_class_bytes
+        self._spans = region.spans
+        self._hot_entries = self.hot.entries
+        self._hot_alloc_hits = self.hot._alloc_hits
+        self._hot_alloc_misses = self.hot._alloc_misses
+        self._hot_free_hits = self.hot._free_hits
+        self._hot_free_misses = self.hot._free_misses
+        self._base_cycles = self.costs.isa_issue + self.costs.hot_hit
+        self._small_threshold = config.small_threshold
+        self._eager_refill = config.eager_refill
+        self._hw_alloc_cell = core.cycle_counter("hw_alloc")
+        self._hw_free_cell = core.cycle_counter("hw_free")
+        self._allocs_cell = self.stats.counter("allocs")
+        self._frees_cell = self.stats.counter("frees")
+        self._hidden_cell = self.stats.counter("hidden_miss_cycles")
 
     # -- obj-alloc (Fig. 6 steps 5-9) ----------------------------------------
 
     def obj_alloc(self, size: int) -> int:
         """Execute obj-alloc: returns the allocated virtual address."""
-        if not 0 < size <= self.config.small_threshold:
+        if not 0 < size <= self._small_threshold:
             raise ValueError(
                 f"obj-alloc size {size} outside (0, "
                 f"{self.config.small_threshold}]"
             )
-        core = self.core
         size_class = (size + 7) // 8 - 1
-        cycles = self.costs.isa_issue + self.costs.hot_hit
-        entry = self.hot.lookup(size_class)
+        cycles = self._base_cycles
+        header = self._hot_entries[size_class].header
 
-        hit = entry.valid and not entry.header.is_full
-        if hit:
-            header = entry.header
+        if header is not None and header.bitmap != header.full_mask:
+            self._hot_alloc_hits.pending += 1
         else:
             miss_cycles = self._switch_arena(size_class)
-            header = self.hot.lookup(size_class).header
-            hidden = self._refill_hidden.pop(size_class, False)
-            if hidden:
+            header = self._hot_entries[size_class].header
+            if self._refill_hidden.pop(size_class, False):
                 # The eager refill already completed this work off the
                 # critical path; only the HOT access itself is paid.
-                self.stats.add("hidden_miss_cycles", miss_cycles)
+                self._hidden_cell.pending += miss_cycles
             else:
                 cycles += miss_cycles
-        self.hot.record_alloc(hit)
+            self._hot_alloc_misses.pending += 1
 
-        slot = header.find_free_slot()
-        header.set_slot(slot)
-        if header.is_full and self.config.eager_refill:
-            # Start loading/requesting the next arena now so the coming
-            # miss is already satisfied (§3.1).
+        # Priority-encoder scan + bitmap set, fused (find_free_slot +
+        # set_slot; the arena is guaranteed non-full here).
+        inverted = ~header.bitmap & header.full_mask
+        bit = inverted & -inverted
+        header.bitmap |= bit
+        if not inverted - bit and self._eager_refill:
+            # That was the last free object: start loading/requesting the
+            # next arena now so the coming miss is already satisfied (§3.1).
             self._refill_hidden[size_class] = True
-        core.charge(cycles, "hw_alloc")
-        self.stats.add("allocs")
-        return header.object_addr(slot, self.config)
+        core = self.core
+        core.cycles += cycles
+        self._hw_alloc_cell.pending += cycles
+        self._allocs_cell.pending += 1
+        return (
+            header.va
+            + HEADER_BYTES
+            + (bit.bit_length() - 1)
+            * (header.obj_size or self.config.object_size(size_class))
+        )
 
     def _switch_arena(self, size_class: int) -> int:
         """Replace the resident arena of ``size_class``; returns cycles.
@@ -140,6 +167,7 @@ class HardwareObjectAllocator:
             size_class=size_class,
             pa=header_pfn << 12,
             objects=self.config.objects_per_arena,
+            obj_size=self.config.object_size(size_class),
         )
         self.headers[va] = header
         self.core.caches.instantiate(header.pa, write=True)
@@ -148,20 +176,50 @@ class HardwareObjectAllocator:
 
     # -- obj-free (Fig. 6 steps 10-13) ------------------------------------------
 
-    def obj_free(self, addr: int) -> None:
-        """Execute obj-free for an in-region address."""
-        core = self.core
-        size_class, arena_base = self.region.arena_base_of(addr)
-        cycles = self.costs.isa_issue + self.costs.hot_hit
-        entry = self.hot.lookup(size_class)
+    def obj_free(self, addr: int, header: Optional[ArenaHeader] = None) -> None:
+        """Execute obj-free for an in-region address.
 
-        hit = entry.valid and entry.header.va == arena_base
-        if hit:
-            header = entry.header
-            self.hot.record_free(True)
-            self._clear_checked(header, addr)
+        Callers that already hold the covering header (the runtime resolves
+        it for the bypass hook anyway) may pass it to skip re-deriving the
+        arena base — the derived values are identical by construction.
+        """
+        core = self.core
+        if header is not None:
+            size_class = header.size_class
+            arena_base = header.va
         else:
-            self.hot.record_free(False)
+            offset = addr - self._mrs
+            if offset < 0 or addr >= self._mre:
+                raise ValueError(
+                    f"{addr:#x} is outside the Memento region"
+                )
+            size_class = offset // self._per_class
+            class_offset = offset - size_class * self._per_class
+            arena_base = addr - class_offset % self._spans[size_class]
+        cycles = self._base_cycles
+        resident = self._hot_entries[size_class].header
+
+        if resident is not None and resident.va == arena_base:
+            header = resident
+            self._hot_free_hits.pending += 1
+            # Inlined _clear_checked: recover the slot index and clear its
+            # bitmap bit, validating the operand like the hardware does.
+            offset = addr - arena_base - HEADER_BYTES
+            obj_size = header.obj_size or self.config.object_size(size_class)
+            if offset < 0 or offset % obj_size:
+                raise ValueError(f"{addr:#x} is not an object boundary")
+            index = offset // obj_size
+            if index >= header.objects:
+                raise ValueError(f"object index {index} out of range")
+            mask = 1 << index
+            if not header.bitmap & mask:
+                raise MementoDoubleFreeError(
+                    f"double free of {addr:#x} (arena {header.va:#x} slot "
+                    f"{index})"
+                )
+            header.bitmap &= ~mask
+        else:
+            self._hot_free_misses.pending += 1
             header = self.headers.get(arena_base)
             if header is None:
                 raise MementoDoubleFreeError(
@@ -192,8 +250,9 @@ class HardwareObjectAllocator:
                 ].push_head(header)
             if header.is_empty:
                 cycles += self._release_empty_arena(header)
-        core.charge(cycles, "hw_free")
-        self.stats.add("frees")
+        core.cycles += cycles
+        self._hw_free_cell.pending += cycles
+        self._frees_cell.pending += 1
 
     def _clear_checked(self, header: ArenaHeader, addr: int) -> None:
         index = header.object_index(addr, self.config)
@@ -256,15 +315,20 @@ class HardwareObjectAllocator:
     # -- introspection ------------------------------------------------------------
 
     def header_of(self, addr: int) -> Optional[ArenaHeader]:
-        """The live arena header covering ``addr`` (bypass engine hook)."""
-        if not self.region.contains(addr):
+        """The live arena header covering ``addr`` (bypass engine hook).
+
+        Runs once per touched object and per routed free, so the region
+        arithmetic is inlined against the hoisted geometry.
+        """
+        offset = addr - self._mrs
+        if offset < 0 or addr >= self._mre:
             return None
-        _, arena_base = self.region.arena_base_of(addr)
+        size_class = offset // self._per_class
+        class_offset = offset - size_class * self._per_class
+        arena_base = addr - class_offset % self._spans[size_class]
         header = self.headers.get(arena_base)
-        if header is None:
-            return None
-        if addr < header.va + HEADER_BYTES:
-            return None  # header line itself, not an object
+        if header is None or addr < arena_base + HEADER_BYTES:
+            return None  # unknown arena, or the header line itself
         return header
 
     def occupancy_fraction(self, include_empty: bool = False) -> float:

@@ -19,11 +19,30 @@ from repro.core.config import MementoConfig
 
 @dataclass(frozen=True)
 class MementoRegion:
-    """MRS/MRE register pair plus the derived carve geometry."""
+    """MRS/MRE register pair plus the derived carve geometry.
+
+    The geometry is fixed at reservation time, so the per-class arena
+    spans are precomputed into ``spans`` — address recovery on the free
+    path is then pure integer arithmetic, exactly as in the hardware.
+    """
 
     mrs: int  # Memento Region Start
     mre: int  # Memento Region End (exclusive)
     config: MementoConfig
+
+    def __post_init__(self) -> None:
+        config = self.config
+        object.__setattr__(
+            self,
+            "spans",
+            tuple(
+                arena_span_bytes(size_class, config)
+                for size_class in range(config.num_size_classes)
+            ),
+        )
+        object.__setattr__(
+            self, "per_class_bytes", config.per_class_region_bytes
+        )
 
     @classmethod
     def reserve(
@@ -42,13 +61,13 @@ class MementoRegion:
         """Base virtual address of a size class's sub-region."""
         if not 0 <= size_class < self.config.num_size_classes:
             raise ValueError(f"size class {size_class} out of range")
-        return self.mrs + size_class * self.config.per_class_region_bytes
+        return self.mrs + size_class * self.per_class_bytes
 
     def size_class_of(self, addr: int) -> int:
         """Recover the size class of an in-region address (bit math)."""
-        if not self.contains(addr):
+        if not self.mrs <= addr < self.mre:
             raise ValueError(f"{addr:#x} is outside the Memento region")
-        return (addr - self.mrs) // self.config.per_class_region_bytes
+        return (addr - self.mrs) // self.per_class_bytes
 
     def arena_base_of(self, addr: int) -> Tuple[int, int]:
         """Recover ``(size_class, arena_base)`` for an object address.
@@ -57,11 +76,12 @@ class MementoRegion:
         arena span of that class — "the rounding can be implemented in
         hardware efficiently because the arena sizes are known in advance".
         """
-        size_class = self.size_class_of(addr)
-        span = arena_span_bytes(size_class, self.config)
-        class_base = self.class_base(size_class)
-        offset = addr - class_base
-        return size_class, class_base + (offset // span) * span
+        offset = addr - self.mrs
+        if offset < 0 or addr >= self.mre:
+            raise ValueError(f"{addr:#x} is outside the Memento region")
+        size_class = offset // self.per_class_bytes
+        class_offset = offset - size_class * self.per_class_bytes
+        return size_class, addr - class_offset % self.spans[size_class]
 
     def arenas_per_class(self, size_class: int) -> int:
         """How many arenas fit in one size class's sub-region."""

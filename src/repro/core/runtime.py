@@ -105,28 +105,53 @@ class MementoRuntime:
         # Deferred-free state for GC'd runtimes (Go).
         self._deferred: List[int] = []
         self._gc = GcPolicy() if language == "go" else None
+        # Wrapper hot path: one malloc/free pair per trace Alloc/Free, so
+        # the routing constants, ISA entry points, and counter cells are
+        # bound once (the ISA layer itself is a pure pass-through).
+        allocator = self.context.object_allocator
+        self._wrapper = self.costs.wrapper
+        self._small_threshold = self.config.small_threshold
+        self._mrs = self.context.region.mrs
+        self._mre = self.context.region.mre
+        self._hw_obj_alloc = allocator.obj_alloc
+        self._hw_obj_free = allocator.obj_free
+        self._header_of = allocator.header_of
+        self._bypass_on_free = self.context.bypass.on_free
+        self._hw_alloc_cell = core.cycle_counter("hw_alloc")
+        self._hw_free_cell = core.cycle_counter("hw_free")
+        self._large_allocs_cell = self.stats.counter("large_allocs")
+        self._large_frees_cell = self.stats.counter("large_frees")
 
     # -- malloc/free (the unchanged software interface) ----------------------
 
     def malloc(self, size: int) -> int:
         """Route a request: small → obj-alloc, large → software (§4)."""
-        self.core.charge(self.costs.wrapper, "hw_alloc")
-        if align8(size) > self.config.small_threshold:
-            self.stats.add("large_allocs")
-            return self.large.malloc(self.core, size)
-        addr = self.context.isa.obj_alloc(size)
+        wrapper = self._wrapper
+        core = self.core
+        core.cycles += wrapper
+        self._hw_alloc_cell.pending += wrapper
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        aligned = (size + 7) & ~7
+        if aligned > self._small_threshold:
+            self._large_allocs_cell.pending += 1
+            return self.large.malloc(core, size)
+        addr = self._hw_obj_alloc(size)
         self._sizes[addr] = size
-        if self._gc is not None and self._gc.on_alloc(align8(size)):
+        if self._gc is not None and self._gc.on_alloc(aligned):
             self.collect()
         return addr
 
     def free(self, addr: int) -> None:
         """Route a free by the pointer's region membership (§4)."""
-        self.core.charge(self.costs.wrapper, "hw_free")
-        if not self.context.region.contains(addr):
+        wrapper = self._wrapper
+        core = self.core
+        core.cycles += wrapper
+        self._hw_free_cell.pending += wrapper
+        if not self._mrs <= addr < self._mre:
             if addr in self.large.live:
-                self.stats.add("large_frees")
-                self.large.free(self.core, addr)
+                self._large_frees_cell.pending += 1
+                self.large.free(core, addr)
                 return
             raise NotAMementoAddressError(
                 f"{addr:#x} is neither a Memento object nor a live large "
@@ -141,10 +166,10 @@ class MementoRuntime:
 
     def _obj_free(self, addr: int) -> None:
         size = self._sizes.pop(addr, None)
-        header = self.context.object_allocator.header_of(addr)
-        self.context.isa.obj_free(addr)
+        header = self._header_of(addr)
+        self._hw_obj_free(addr, header)
         if header is not None and size is not None:
-            self.context.bypass.on_free(header, addr, align8(size))
+            self._bypass_on_free(header, addr, (size + 7) & ~7)
 
     def collect(self) -> int:
         """GC point: flush deferred frees through obj-free (§4)."""

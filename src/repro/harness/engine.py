@@ -101,6 +101,12 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: Identity-keyed fingerprint memo. CostModel is frozen, so an instance's
+#: digest never changes; the strong reference keeps the id stable. The
+#: canonical walk over ~40 fields otherwise reruns per content_key call.
+_COST_FINGERPRINTS: Dict[int, Tuple[CostModel, str]] = {}
+
+
 def cost_model_fingerprint(cost_model: CostModel = DEFAULT_COSTS) -> str:
     """Stable hash of every calibrated cycle cost.
 
@@ -108,7 +114,12 @@ def cost_model_fingerprint(cost_model: CostModel = DEFAULT_COSTS) -> str:
     ``scripts/apply_calibration.py``) silently invalidates all cached
     results instead of serving stale metrics.
     """
-    return _digest(_canonical(cost_model))[:16]
+    entry = _COST_FINGERPRINTS.get(id(cost_model))
+    if entry is not None and entry[0] is cost_model:
+        return entry[1]
+    digest = _digest(_canonical(cost_model))[:16]
+    _COST_FINGERPRINTS[id(cost_model)] = (cost_model, digest)
+    return digest
 
 
 @lru_cache(maxsize=1)

@@ -1,0 +1,196 @@
+"""Replay performance microbenchmark (``repro bench``).
+
+Measures the simulator's hot path — trace replay throughput in
+events/sec — for one representative workload per language stack
+(pymalloc, jemalloc, goalloc) on both the baseline and Memento stacks,
+plus the experiment engine's result-cache hit/miss timings. Results are
+written to ``BENCH_<date>.json`` at the repo root so the performance
+trajectory is tracked from PR to PR.
+
+Protocol: the trace is generated and packed to its columnar form before
+any clock starts; each repeat constructs a fresh
+:class:`~repro.harness.system.SimulatedSystem` outside the timed region
+and times only ``system.run(trace)``; the best (minimum) wall time of
+``repeats`` runs is kept, which rejects scheduler noise without
+averaging it in. ``--compare`` recomputes per-key speedups against a
+previously written file.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+import dataclasses
+
+from repro.harness.engine import (
+    ExperimentEngine,
+    RunRequest,
+    source_fingerprint,
+)
+from repro.harness.system import SimulatedSystem
+from repro.workloads.registry import get_workload
+from repro.workloads.synth import generate_trace
+
+SCHEMA_VERSION = 1
+
+#: One workload per language stack: html (python/pymalloc, function),
+#: Redis (cpp/jemalloc), deploy (go/goalloc).
+DEFAULT_WORKLOADS: Sequence[str] = ("html", "Redis", "deploy")
+
+DEFAULT_NUM_ALLOCS = 8000
+DEFAULT_REPEATS = 7
+
+SMOKE_NUM_ALLOCS = 500
+SMOKE_REPEATS = 1
+
+
+def bench_replay(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    num_allocs: int = DEFAULT_NUM_ALLOCS,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, Dict[str, Any]]:
+    """Replay throughput per ``workload/stack`` key.
+
+    Returns ``{key: {workload, stack, language, category, num_allocs,
+    events, repeats, seconds, events_per_sec}}`` with ``seconds`` the
+    best-of-``repeats`` wall time of one full replay.
+    """
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in workloads:
+        spec = dataclasses.replace(
+            get_workload(name).resolved(), num_allocs=num_allocs
+        )
+        trace = generate_trace(spec)
+        trace.columnar()  # pack once, outside every timed region
+        events = len(trace.events)
+        for memento in (False, True):
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                system = SimulatedSystem(spec, memento=memento)
+                started = time.perf_counter()
+                system.run(trace)
+                elapsed = time.perf_counter() - started
+                if elapsed < best:
+                    best = elapsed
+            key = f"{name}/{'memento' if memento else 'baseline'}"
+            results[key] = {
+                "workload": name,
+                "stack": "memento" if memento else "baseline",
+                "language": spec.language,
+                "category": spec.category,
+                "num_allocs": num_allocs,
+                "events": events,
+                "repeats": repeats,
+                "seconds": best,
+                "events_per_sec": events / best,
+            }
+    return results
+
+
+def bench_engine_cache(
+    workload: str = "html", num_allocs: int = 2000
+) -> Dict[str, Any]:
+    """Engine result-cache timings: cold miss vs disk hit vs memo hit.
+
+    Uses a throwaway cache directory so the measurement never touches
+    (or is warmed by) the working ``.repro-cache/``.
+    """
+    spec = dataclasses.replace(
+        get_workload(workload).resolved(), num_allocs=num_allocs
+    )
+    request = RunRequest(spec=spec, memento=False)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        engine = ExperimentEngine(cache_dir=tmp, use_disk_cache=True)
+        started = time.perf_counter()
+        engine.run(request)
+        miss_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        engine.run(request)
+        memo_hit_seconds = time.perf_counter() - started
+
+        cold_engine = ExperimentEngine(cache_dir=tmp, use_disk_cache=True)
+        started = time.perf_counter()
+        cold_engine.run(request)
+        disk_hit_seconds = time.perf_counter() - started
+    return {
+        "workload": workload,
+        "num_allocs": num_allocs,
+        "miss_seconds": miss_seconds,
+        "disk_hit_seconds": disk_hit_seconds,
+        "memo_hit_seconds": memo_hit_seconds,
+        "disk_hit_speedup": miss_seconds / disk_hit_seconds,
+    }
+
+
+def compare(
+    current: Dict[str, Dict[str, Any]],
+    reference: Dict[str, Dict[str, Any]],
+) -> Dict[str, float]:
+    """Per-key events/sec speedup of ``current`` over ``reference``."""
+    speedups: Dict[str, float] = {}
+    for key, row in current.items():
+        ref = reference.get(key)
+        if ref and ref.get("events_per_sec"):
+            speedups[key] = row["events_per_sec"] / ref["events_per_sec"]
+    return speedups
+
+
+def run_bench(
+    smoke: bool = False,
+    repeats: Optional[int] = None,
+    num_allocs: Optional[int] = None,
+    workloads: Optional[Iterable[str]] = None,
+    compare_path: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Assemble the full benchmark payload (see module docstring)."""
+    if smoke:
+        num_allocs = num_allocs or SMOKE_NUM_ALLOCS
+        repeats = repeats or SMOKE_REPEATS
+    else:
+        num_allocs = num_allocs or DEFAULT_NUM_ALLOCS
+        repeats = repeats or DEFAULT_REPEATS
+    names = tuple(workloads) if workloads else DEFAULT_WORKLOADS
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "date": datetime.date.today().isoformat(),
+        "smoke": smoke,
+        "source_fingerprint": source_fingerprint(),
+        "protocol": {
+            "num_allocs": num_allocs,
+            "repeats": repeats,
+            "timing": (
+                "best-of-N wall time of system.run(trace); trace "
+                "pregenerated and columnar-packed, system constructed "
+                "outside the timed region"
+            ),
+        },
+        "replay": bench_replay(names, num_allocs, repeats),
+    }
+    if not smoke:
+        payload["engine_cache"] = bench_engine_cache()
+    if compare_path is not None:
+        reference = json.loads(Path(compare_path).read_text())
+        ref_replay = reference.get("replay", reference)
+        payload["comparison"] = {
+            "reference": str(compare_path),
+            "reference_date": reference.get("date"),
+            "speedup": compare(payload["replay"], ref_replay),
+        }
+    return payload
+
+
+def default_output_path(root: Path, smoke: bool = False) -> Path:
+    stamp = datetime.date.today().isoformat()
+    name = f"BENCH_{stamp}.smoke.json" if smoke else f"BENCH_{stamp}.json"
+    return root / name
+
+
+def write_bench(payload: Dict[str, Any], out: Path) -> Path:
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

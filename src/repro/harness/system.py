@@ -15,6 +15,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.allocators import ALLOCATOR_BY_LANGUAGE
 from repro.allocators.jemalloc import JemallocAllocator
+from repro.core.bypass import COUNTER_MAX
 from repro.core.config import MementoConfig
 from repro.core.page_allocator import HardwarePageAllocator
 from repro.core.runtime import MementoRuntime
@@ -24,7 +25,19 @@ from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, PAGE_SHIFT, PAGE_SIZE
 from repro.workloads.dataproc import DATAPROC_PURGE_AFTER, DATAPROC_RUN_BYTES
 from repro.workloads.synth import WorkloadSpec, generate_trace
-from repro.workloads.trace import Alloc, Compute, Free, Touch, Trace
+from repro.workloads.trace import (
+    Alloc,
+    Compute,
+    Free,
+    KIND_ALLOC,
+    KIND_COMPUTE,
+    KIND_FREE,
+    KIND_TOUCH,
+    Touch,
+    Trace,
+)
+
+_PAGE_MASK = PAGE_SIZE - 1
 
 #: Cycle categories making up memory management on each stack.
 BASELINE_MM = ("user_alloc", "user_free", "kernel_page", "walk")
@@ -128,6 +141,31 @@ class SimulatedSystem:
         self.cold_start = cold_start
         self.config = memento_config or MementoConfig()
 
+        self._addr_of: Dict[int, int] = {}
+        self._size_of: Dict[int, int] = {}
+        # Hoisted `cycles.touch` cell: `_touch_lines` batches one event's
+        # line latencies into a single add (int sums, so bit-identical to
+        # per-line charging).
+        self._touch_cycles = self.core.cycle_counter("touch")
+        # Replay fast-path peeks: the L1 TLB / L1D sets of this system's
+        # core, so the common all-hits metadata access needs no calls into
+        # the sim layer. A peek-hit mutates exactly what the full lookup
+        # would (LRU bump + hit counter); a peek-miss mutates nothing and
+        # falls back to the full path, which then counts the miss itself.
+        tlb = self.core.tlb
+        caches = self.core.caches
+        self._tlb_l1_sets = tlb._l1_sets
+        self._tlb_l1_nsets = tlb._l1_num_sets
+        self._tlb_l1_hit = tlb.l1_hits
+        self._cache_l1_sets = caches._l1_sets
+        self._cache_l1_nsets = caches._l1_num_sets
+        self._cache_l1_hit = caches._l1_hits
+        self._l1_hit_cycles = caches._r_l1.cycles
+        self._meta_cells: Dict[str, Any] = {}
+        # The allocator metadata-touch callback is built as a closure so
+        # its per-call state loads from closure cells, not `self`.
+        self._metadata_touch = self._make_metadata_touch()
+
         if memento:
             self.page_allocator = page_allocator or HardwarePageAllocator(
                 self.kernel, self.config
@@ -141,6 +179,7 @@ class SimulatedSystem:
                 self.config,
             )
             self.allocator = None
+            self._header_of = self.runtime.context.object_allocator.header_of
         else:
             self.page_allocator = None
             self.runtime = None
@@ -158,22 +197,101 @@ class SimulatedSystem:
             self.allocator.mmap_populate = mmap_populate
             self.allocator.warm = self.spec.warm_heap
             self.allocator.large.warm = self.spec.warm_heap
+            self._header_of = None
         if memento and mmap_populate:
             raise ValueError("MAP_POPULATE applies to the baseline stack")
+        # Built last: the touch closure captures the stack-specific cells
+        # (bypass engine on Memento) chosen above.
+        self._touch_lines = self._make_touch_lines()
 
-        self._addr_of: Dict[int, int] = {}
-        self._size_of: Dict[int, int] = {}
+    def _make_metadata_touch(self):
+        """Build the allocator metadata-touch callback.
 
-    def _metadata_touch(
-        self, core, vaddr: int, write: bool, category: str
-    ) -> None:
-        """Allocator metadata updates (pool/run headers, free-list heads)
-        are real memory accesses: they occupy cache space and generate the
-        allocation traffic the HOT absorbs on the Memento stack."""
-        pfn = self._translate(vaddr)
-        paddr = (pfn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
-        result = core.caches.access(paddr, write=write)
-        core.charge(result.cycles, category)
+        Allocator metadata updates (pool/run headers, free-list heads) are
+        real memory accesses: they occupy cache space and generate the
+        allocation traffic the HOT absorbs on the Memento stack. The
+        callback runs twice per baseline malloc/free, so it is a closure —
+        every piece of per-call state is a captured cell rather than an
+        attribute chase through ``self``.
+        """
+        tlb_sets = self._tlb_l1_sets
+        tlb_nsets = self._tlb_l1_nsets
+        tlb_hit = self._tlb_l1_hit
+        l1_sets = self._cache_l1_sets
+        l1_nsets = self._cache_l1_nsets
+        l1_hit = self._cache_l1_hit
+        l1_hit_cycles = self._l1_hit_cycles
+        access_line = self.core.caches.access_line
+        translate = self._translate
+        meta_cells = self._meta_cells
+        cycle_counter = self.core.cycle_counter
+        page_shift = PAGE_SHIFT
+        page_mask = _PAGE_MASK
+
+        def metadata_touch(core, vaddr, write, category):
+            vpn = vaddr >> page_shift
+            tlb_set = tlb_sets[vpn % tlb_nsets]
+            if vpn in tlb_set:
+                tlb_set.move_to_end(vpn)
+                tlb_hit.pending += 1
+                pfn = tlb_set[vpn]
+            else:
+                pfn = translate(vaddr)
+            line = ((pfn << page_shift) | (vaddr & page_mask)) >> 6
+            l1_set = l1_sets[line % l1_nsets]
+            if line in l1_set:
+                l1_set.move_to_end(line)
+                if write:
+                    l1_set[line] = True
+                l1_hit.pending += 1
+                cycles = l1_hit_cycles
+            else:
+                cycles = access_line(line, write)[1]
+            core.cycles += cycles
+            cell = meta_cells.get(category)
+            if cell is None:
+                cell = meta_cells[category] = cycle_counter(category)
+            cell.pending += cycles
+
+        # Specialized variants for the two categories every allocator
+        # emits on its malloc/free fast paths: the category cell and the
+        # write flag are bound into the closure, dropping two arguments
+        # and a dict probe per call. Exposed as attributes so the
+        # allocator base class can pick them up without a new parameter.
+        def make_category_touch(category):
+            cell = None
+
+            def category_touch(core, vaddr):
+                nonlocal cell
+                vpn = vaddr >> page_shift
+                tlb_set = tlb_sets[vpn % tlb_nsets]
+                if vpn in tlb_set:
+                    tlb_set.move_to_end(vpn)
+                    tlb_hit.pending += 1
+                    pfn = tlb_set[vpn]
+                else:
+                    pfn = translate(vaddr)
+                line = ((pfn << page_shift) | (vaddr & page_mask)) >> 6
+                l1_set = l1_sets[line % l1_nsets]
+                if line in l1_set:
+                    l1_set.move_to_end(line)
+                    l1_set[line] = True
+                    l1_hit.pending += 1
+                    cycles = l1_hit_cycles
+                else:
+                    cycles = access_line(line, True)[1]
+                core.cycles += cycles
+                if cell is None:
+                    cell = meta_cells.get(category)
+                    if cell is None:
+                        cell = meta_cells[category] = cycle_counter(category)
+                cell.pending += cycles
+
+            return category_touch
+
+        metadata_touch.alloc = make_category_touch("user_alloc")
+        metadata_touch.free = make_category_touch("user_free")
+        return metadata_touch
 
     # -- the malloc/free/access surface ---------------------------------------
 
@@ -208,51 +326,389 @@ class SimulatedSystem:
         return pfn
 
     def _touch(self, event: Touch) -> None:
-        base = self._addr_of[event.obj] + event.line_offset * 64
-        header = None
-        bypass = None
-        if self.memento:
-            header = self.runtime.context.object_allocator.header_of(base)
-            bypass = self.runtime.context.bypass
-        for line in range(event.lines):
-            vaddr = base + line * 64
-            pfn = self._translate(vaddr)
-            paddr = (pfn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+        self._touch_lines(
+            event.obj, event.lines, event.line_offset, event.write
+        )
+
+    def _make_touch_lines(self):
+        """Build the per-event line-touch kernel as a closure.
+
+        Accesses ``lines`` consecutive cache lines of an object: the
+        innermost replay loop. Two fast-path transformations, both
+        accounting-identical to the straightforward per-line form:
+
+        * consecutive lines on the same page skip the TLB probe — the
+          previous line's lookup/insert left the page MRU in the L1 TLB,
+          so a probe would hit without changing state; the hit is counted
+          manually via the exposed ``l1_hits`` cell;
+        * per-line latencies (ints) are summed locally and charged to
+          ``cycles.touch`` once per event.
+
+        A closure rather than a method so every piece of per-call state —
+        TLB/L1 sets, counter cells, the bypass engine's decision inputs —
+        loads from captured cells instead of attribute chains.
+        """
+        core = self.core
+        addr_of = self._addr_of
+        translate = self._translate
+        tlb_sets = self._tlb_l1_sets
+        tlb_nsets = self._tlb_l1_nsets
+        tlb_hit = self._tlb_l1_hit
+        l1_sets = self._cache_l1_sets
+        l1_nsets = self._cache_l1_nsets
+        l1_hit = self._cache_l1_hit
+        l1_hit_cycles = self._l1_hit_cycles
+        caches = core.caches
+        access_line = caches.access_line
+        touch_cycles = self._touch_cycles
+        page_shift = PAGE_SHIFT
+        page_mask = _PAGE_MASK
+
+        if not self.memento:
+
+            def touch_lines(obj, lines, line_offset, write):
+                base = addr_of[obj] + line_offset * 64
+                total = 0
+                last_vpn = -1
+                frame_base = 0
+                for vaddr in range(base, base + lines * 64, 64):
+                    vpn = vaddr >> page_shift
+                    if vpn != last_vpn:
+                        tlb_set = tlb_sets[vpn % tlb_nsets]
+                        if vpn in tlb_set:
+                            tlb_set.move_to_end(vpn)
+                            tlb_hit.pending += 1
+                            frame_base = tlb_set[vpn] << page_shift
+                        else:
+                            frame_base = translate(vaddr) << page_shift
+                        last_vpn = vpn
+                    else:
+                        tlb_hit.pending += 1
+                    line = (frame_base | (vaddr & page_mask)) >> 6
+                    l1_set = l1_sets[line % l1_nsets]
+                    if line in l1_set:
+                        l1_set.move_to_end(line)
+                        if write:
+                            l1_set[line] = True
+                        l1_hit.pending += 1
+                        total += l1_hit_cycles
+                    else:
+                        total += access_line(line, write)[1]
+                core.cycles += total
+                touch_cycles.pending += total
+
+            return touch_lines
+
+        # Memento: the bypass decision (inlined BypassEngine.access, §3.3)
+        # runs per line when the touched object has a live arena header;
+        # headerless addresses take the plain route above.
+        header_of = self._header_of
+        bypass = self.runtime.context.bypass
+        enabled = bypass.enabled
+        bypassed_cell = bypass._bypassed_lines
+        regular_cell = bypass._regular_lines
+        instantiate = caches.instantiate
+        bypass_cycles = caches._r_bypass.cycles
+        counter_max = COUNTER_MAX
+
+        def touch_lines(obj, lines, line_offset, write):
+            base = addr_of[obj] + line_offset * 64
+            total = 0
+            last_vpn = -1
+            frame_base = 0
+            header = header_of(base)
             if header is not None:
-                result = bypass.access(
-                    self.core, header, vaddr, event.write, cache_addr=paddr
-                )
+                header_va = header.va
+                for vaddr in range(base, base + lines * 64, 64):
+                    vpn = vaddr >> page_shift
+                    if vpn != last_vpn:
+                        tlb_set = tlb_sets[vpn % tlb_nsets]
+                        if vpn in tlb_set:
+                            tlb_set.move_to_end(vpn)
+                            tlb_hit.pending += 1
+                            frame_base = tlb_set[vpn] << page_shift
+                        else:
+                            frame_base = translate(vaddr) << page_shift
+                        last_vpn = vpn
+                    else:
+                        tlb_hit.pending += 1
+                    line_index = (vaddr - header_va) >> 6
+                    if line_index >= header.bypass_counter:
+                        header.bypass_counter = (
+                            line_index + 1
+                            if line_index < counter_max
+                            else counter_max
+                        )
+                        bypassable = enabled
+                    else:
+                        bypassable = False
+                    cache_addr = frame_base | (vaddr & page_mask)
+                    if bypassable:
+                        bypassed_cell.pending += 1
+                        instantiate(cache_addr, write)
+                        total += bypass_cycles
+                    else:
+                        regular_cell.pending += 1
+                        line = cache_addr >> 6
+                        l1_set = l1_sets[line % l1_nsets]
+                        if line in l1_set:
+                            l1_set.move_to_end(line)
+                            if write:
+                                l1_set[line] = True
+                            l1_hit.pending += 1
+                            total += l1_hit_cycles
+                        else:
+                            total += access_line(line, write)[1]
             else:
-                result = self.core.caches.access(paddr, write=event.write)
-            self.core.charge(result.cycles, "touch")
+                for vaddr in range(base, base + lines * 64, 64):
+                    vpn = vaddr >> page_shift
+                    if vpn != last_vpn:
+                        tlb_set = tlb_sets[vpn % tlb_nsets]
+                        if vpn in tlb_set:
+                            tlb_set.move_to_end(vpn)
+                            tlb_hit.pending += 1
+                            frame_base = tlb_set[vpn] << page_shift
+                        else:
+                            frame_base = translate(vaddr) << page_shift
+                        last_vpn = vpn
+                    else:
+                        tlb_hit.pending += 1
+                    line = (frame_base | (vaddr & page_mask)) >> 6
+                    l1_set = l1_sets[line % l1_nsets]
+                    if line in l1_set:
+                        l1_set.move_to_end(line)
+                        if write:
+                            l1_set[line] = True
+                        l1_hit.pending += 1
+                        total += l1_hit_cycles
+                    else:
+                        total += access_line(line, write)[1]
+            core.cycles += total
+            touch_cycles.pending += total
+
+        return touch_lines
 
     # -- replay ------------------------------------------------------------------
 
     def run(self, trace: Optional[Trace] = None) -> RunResult:
         """Replay ``trace`` (generated from the spec when omitted)."""
+        import gc
+
         trace = trace or generate_trace(self.spec)
         if self.cold_start:
             self._run_cold_start(trace)
-        allocs = frees = 0
-        for event in trace:
-            if isinstance(event, Compute):
-                self.core.charge(event.cycles, "app")
-                if event.dram_bytes:
-                    self.machine.dram.record_bulk_bytes(event.dram_bytes)
-            elif isinstance(event, Alloc):
-                addr = self._malloc(event.size)
-                self._addr_of[event.obj] = addr
-                self._size_of[event.obj] = event.size
-                allocs += 1
-            elif isinstance(event, Touch):
-                self._touch(event)
-            elif isinstance(event, Free):
-                self._free(self._addr_of.pop(event.obj))
-                del self._size_of[event.obj]
-                frees += 1
+        packer = getattr(trace, "columnar", None)
+        columnar = packer() if packer is not None else None
+        # The replay churns through dataclass records and OrderedDict
+        # nodes fast enough to trip the cyclic collector thousands of
+        # times per run; nothing in the simulator creates cycles mid-run,
+        # so the pauses buy no memory back. Suspend collection for the
+        # replay only (restoring the caller's setting on every exit path).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if columnar is not None:
+                allocs, frees = self._replay_columnar(columnar)
+            else:
+                allocs, frees = self._replay_events(trace)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if trace.category == "function":
             self._function_exit()
         return self._collect(trace, allocs, frees)
+
+    def _replay_columnar(self, columnar) -> "tuple[int, int]":
+        """Drive the packed trace form: integer kind tags and operand
+        columns, no per-event objects or attribute loads."""
+        allocs = frees = 0
+        addr_of = self._addr_of
+        size_of = self._size_of
+        touch_lines = self._touch_lines
+        core = self.core
+        app_cell = core.cycle_counter("app")
+        dram = self.machine.dram
+        read_bytes = dram._read_bytes
+        read_lines = dram._read_lines
+        # Single-line touches are the majority of every workload's events
+        # (60-75%), so that case is fully inlined against locals hoisted
+        # once per replay: TLB peek, L1 peek, and (Memento) the bypass
+        # decision, identical to the _touch_lines body for lines == 1.
+        translate = self._translate
+        tlb_sets = self._tlb_l1_sets
+        tlb_nsets = self._tlb_l1_nsets
+        tlb_hit = self._tlb_l1_hit
+        l1_sets = self._cache_l1_sets
+        l1_nsets = self._cache_l1_nsets
+        l1_hit = self._cache_l1_hit
+        l1_hit_cycles = self._l1_hit_cycles
+        caches = core.caches
+        access_line = caches.access_line
+        touch_cycles = self._touch_cycles
+        columns = zip(
+            columnar.kinds, columnar.f0, columnar.f1, columnar.f2, columnar.f3
+        )
+        if self.memento:
+            # Memento stack: runtime methods bound directly (no per-event
+            # stack-selection wrapper).
+            malloc = self.runtime.malloc
+            free = self.runtime.free
+            header_of = self._header_of
+            bypass = self.runtime.context.bypass
+            bypass_enabled = bypass.enabled
+            bypassed_cell = bypass._bypassed_lines
+            regular_cell = bypass._regular_lines
+            instantiate = caches.instantiate
+            bypass_cycles = caches._r_bypass.cycles
+            for kind, a, b, c, d in columns:
+                if kind == KIND_TOUCH:
+                    if b != 1:
+                        touch_lines(a, b, c, d)
+                        continue
+                    vaddr = addr_of[a] + c * 64
+                    vpn = vaddr >> PAGE_SHIFT
+                    tlb_set = tlb_sets[vpn % tlb_nsets]
+                    if vpn in tlb_set:
+                        tlb_set.move_to_end(vpn)
+                        tlb_hit.pending += 1
+                        frame_base = tlb_set[vpn] << PAGE_SHIFT
+                    else:
+                        frame_base = translate(vaddr) << PAGE_SHIFT
+                    cache_addr = frame_base | (vaddr & _PAGE_MASK)
+                    header = header_of(vaddr)
+                    if header is not None:
+                        line_index = (vaddr - header.va) >> 6
+                        if line_index >= header.bypass_counter:
+                            header.bypass_counter = (
+                                line_index + 1
+                                if line_index < COUNTER_MAX
+                                else COUNTER_MAX
+                            )
+                            bypassable = bypass_enabled
+                        else:
+                            bypassable = False
+                        if bypassable:
+                            bypassed_cell.pending += 1
+                            instantiate(cache_addr, d)
+                            core.cycles += bypass_cycles
+                            touch_cycles.pending += bypass_cycles
+                            continue
+                        regular_cell.pending += 1
+                    line = cache_addr >> 6
+                    l1_set = l1_sets[line % l1_nsets]
+                    if line in l1_set:
+                        l1_set.move_to_end(line)
+                        if d:
+                            l1_set[line] = True
+                        l1_hit.pending += 1
+                        total = l1_hit_cycles
+                    else:
+                        total = access_line(line, d)[1]
+                    core.cycles += total
+                    touch_cycles.pending += total
+                elif kind == KIND_COMPUTE:
+                    core.cycles += a
+                    app_cell.pending += a
+                    if b:
+                        # Inlined dram.record_bulk_bytes(b) (read traffic).
+                        read_bytes.pending += b
+                        read_lines.pending += b / 64
+                elif kind == KIND_ALLOC:
+                    addr_of[a] = malloc(b)
+                    size_of[a] = b
+                    allocs += 1
+                else:
+                    free(addr_of.pop(a))
+                    del size_of[a]
+                    frees += 1
+        else:
+            malloc = self.allocator.malloc
+            free = self.allocator.free
+            for kind, a, b, c, d in columns:
+                if kind == KIND_TOUCH:
+                    if b != 1:
+                        touch_lines(a, b, c, d)
+                        continue
+                    vaddr = addr_of[a] + c * 64
+                    vpn = vaddr >> PAGE_SHIFT
+                    tlb_set = tlb_sets[vpn % tlb_nsets]
+                    if vpn in tlb_set:
+                        tlb_set.move_to_end(vpn)
+                        tlb_hit.pending += 1
+                        frame_base = tlb_set[vpn] << PAGE_SHIFT
+                    else:
+                        frame_base = translate(vaddr) << PAGE_SHIFT
+                    line = (frame_base | (vaddr & _PAGE_MASK)) >> 6
+                    l1_set = l1_sets[line % l1_nsets]
+                    if line in l1_set:
+                        l1_set.move_to_end(line)
+                        if d:
+                            l1_set[line] = True
+                        l1_hit.pending += 1
+                        total = l1_hit_cycles
+                    else:
+                        total = access_line(line, d)[1]
+                    core.cycles += total
+                    touch_cycles.pending += total
+                elif kind == KIND_COMPUTE:
+                    core.cycles += a
+                    app_cell.pending += a
+                    if b:
+                        # Inlined dram.record_bulk_bytes(b) (read traffic).
+                        read_bytes.pending += b
+                        read_lines.pending += b / 64
+                elif kind == KIND_ALLOC:
+                    addr_of[a] = malloc(core, b)
+                    size_of[a] = b
+                    allocs += 1
+                else:
+                    free(core, addr_of.pop(a))
+                    del size_of[a]
+                    frees += 1
+        return allocs, frees
+
+    def _replay_events(self, events) -> "tuple[int, int]":
+        """Object-event fallback (traces carrying non-canonical events):
+        a type-keyed dispatch table instead of an isinstance chain."""
+        allocs = frees = 0
+        addr_of = self._addr_of
+        size_of = self._size_of
+
+        def on_compute(event) -> None:
+            self.core.charge(event.cycles, "app")
+            if event.dram_bytes:
+                self.machine.dram.record_bulk_bytes(event.dram_bytes)
+
+        def on_alloc(event) -> None:
+            nonlocal allocs
+            addr_of[event.obj] = self._malloc(event.size)
+            size_of[event.obj] = event.size
+            allocs += 1
+
+        def on_touch(event) -> None:
+            self._touch_lines(
+                event.obj, event.lines, event.line_offset, event.write
+            )
+
+        def on_free(event) -> None:
+            nonlocal frees
+            self._free(addr_of.pop(event.obj))
+            del size_of[event.obj]
+            frees += 1
+
+        dispatch = {
+            Compute: on_compute,
+            Alloc: on_alloc,
+            Touch: on_touch,
+            Free: on_free,
+        }
+        get = dispatch.get
+        for event in events:
+            handler = get(type(event))
+            if handler is not None:
+                handler(event)
+        return allocs, frees
 
     def _run_cold_start(self, trace: Trace) -> None:
         """Container setup before the function body (identical work on

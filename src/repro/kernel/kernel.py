@@ -33,6 +33,7 @@ class Kernel:
         self._next_pid = 1
         self._running: Optional[Process] = None
         self.stats = machine.stats.scoped("kernel")
+        self._warm_prefaulted = self.stats.counter("warm_prefaulted_pages")
 
     # -- frame helpers for page tables ------------------------------------
 
@@ -105,17 +106,20 @@ class Kernel:
 
         Models a warm-started container whose previous invocations already
         faulted the page in: the physical page exists before the measured
-        run begins. Physical accounting still happens.
+        run begins. Physical accounting still happens. Runs once per heap
+        page at warm-allocator init (hundreds of pages before the first
+        malloc returns), hence the interned counter and single walk.
         """
         from repro.sim.params import PAGE_SHIFT
 
         vpn = vaddr >> PAGE_SHIFT
-        if process.page_table.walk(vpn) is not None:
-            return process.page_table.walk(vpn)
+        pfn = process.page_table.walk(vpn)
+        if pfn is not None:
+            return pfn
         pfn = self.buddy.alloc(0)
         process.charge_user_page()
         process.page_table.map(vpn, pfn)
-        self.stats.add("warm_prefaulted_pages")
+        self._warm_prefaulted.pending += 1
         return pfn
 
     # -- memory access (baseline translation path) --------------------------

@@ -15,19 +15,32 @@ from repro.sim.stats import Stats
 class Dram:
     """Byte-level traffic accounting for main memory."""
 
+    __slots__ = (
+        "params",
+        "stats",
+        "_read_lines",
+        "_read_bytes",
+        "_write_lines",
+        "_write_bytes",
+    )
+
     def __init__(self, params: MachineParams, stats: Stats) -> None:
         self.params = params
         self.stats = stats.scoped("dram")
+        self._read_lines = self.stats.counter("read_lines")
+        self._read_bytes = self.stats.counter("read_bytes")
+        self._write_lines = self.stats.counter("write_lines")
+        self._write_bytes = self.stats.counter("write_bytes")
 
     def record_read_line(self, lines: int = 1) -> None:
         """Record ``lines`` cache-line fetches from DRAM."""
-        self.stats.add("read_lines", lines)
-        self.stats.add("read_bytes", lines * LINE_SIZE)
+        self._read_lines.pending += lines
+        self._read_bytes.pending += lines * LINE_SIZE
 
     def record_write_line(self, lines: int = 1) -> None:
         """Record ``lines`` cache-line writebacks to DRAM."""
-        self.stats.add("write_lines", lines)
-        self.stats.add("write_bytes", lines * LINE_SIZE)
+        self._write_lines.pending += lines
+        self._write_bytes.pending += lines * LINE_SIZE
 
     def record_bulk_bytes(self, nbytes: float, write: bool = False) -> None:
         """Record statistically-modeled application traffic.
@@ -36,11 +49,12 @@ class Dram:
         aggregate (bytes per compute burst) rather than line by line; this
         entry point keeps that traffic in the same counters.
         """
-        key = "write_bytes" if write else "read_bytes"
-        self.stats.add(key, nbytes)
-        self.stats.add(
-            "write_lines" if write else "read_lines", nbytes / LINE_SIZE
-        )
+        if write:
+            self._write_bytes.pending += nbytes
+            self._write_lines.pending += nbytes / LINE_SIZE
+        else:
+            self._read_bytes.pending += nbytes
+            self._read_lines.pending += nbytes / LINE_SIZE
 
     @property
     def total_bytes(self) -> float:

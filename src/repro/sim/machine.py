@@ -26,6 +26,16 @@ class Core:
     Fig. 9 breakdown (obj-alloc / obj-free / page-mgmt / bypass / app).
     """
 
+    __slots__ = (
+        "core_id",
+        "machine",
+        "stats",
+        "caches",
+        "tlb",
+        "cycles",
+        "_cycle_cells",
+    )
+
     def __init__(
         self, core_id: int, machine: "Machine", stats: Stats
     ) -> None:
@@ -40,6 +50,10 @@ class Core:
         )
         self.tlb = TlbHierarchy(machine.params, stats)
         self.cycles = 0
+        #: Interned per-category ``cycles.*`` cells — ``charge`` runs for
+        #: every simulated event, and building ``f"cycles.{category}"``
+        #: per call dominated its cost.
+        self._cycle_cells: dict = {}
 
     def _writeback_backpressure(self) -> None:
         self.charge(self.machine.costs.writeback_penalty, "mem_backpressure")
@@ -47,7 +61,16 @@ class Core:
     def charge(self, cycles: float, category: str = "app") -> None:
         """Account ``cycles`` against this core under ``category``."""
         self.cycles += cycles
-        self.stats.add(f"cycles.{category}", cycles)
+        cell = self._cycle_cells.get(category)
+        if cell is None:
+            cell = self.cycle_counter(category)
+        cell.pending += cycles
+
+    def cycle_counter(self, category: str):
+        """Interned cell for ``cycles.<category>`` (hot callers hoist it)."""
+        cell = self.stats.counter("cycles." + category)
+        self._cycle_cells[category] = cell
+        return cell
 
     def cycles_in(self, category: str) -> float:
         """Cycles accumulated so far under ``category``."""

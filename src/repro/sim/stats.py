@@ -5,12 +5,52 @@ hardware structures) records events into a :class:`Stats` instance. Counters
 are addressed by dotted names, e.g. ``"l1d.hits"`` or
 ``"memento.hot.alloc_hits"``, which keeps reporting code flat and lets the
 harness merge and diff runs without knowing component internals.
+
+Hot emitters bump counters millions of times per replay, so the dotted-name
+``add`` path (prefix concatenation + hashing a fresh string per event) is
+too slow for them. :meth:`Stats.counter` returns a :class:`Counter` handle
+bound to one interned name; components create handles once at construction
+and increment through them. A handle defers its increments in a plain
+``pending`` integer attribute — the hottest emitters may bump
+``cell.pending`` directly without even a method call — and every read
+surface on :class:`Stats` folds pending amounts into the shared store
+first, so ``snapshot``/``merge``/``diff`` and the string-path API always
+observe exact totals.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
 from typing import Dict, Iterator, Mapping, Tuple
+
+
+class Counter:
+    """A bound increment cell for one interned counter name.
+
+    Increments accumulate in ``pending`` (exact for the integral amounts
+    all hot emitters use) and are folded into the parent store whenever
+    the parent :class:`Stats` is read. Hot loops may bump ``pending``
+    in place (``cell.pending += n``) instead of calling :meth:`add`.
+    """
+
+    __slots__ = ("_store", "name", "pending")
+
+    def __init__(self, store: Dict[str, float], name: str) -> None:
+        self._store = store
+        self.name = name
+        self.pending = 0
+
+    def add(self, amount: float = 1) -> None:
+        """Increment the bound counter by ``amount``."""
+        self.pending += amount
+
+    def get(self) -> float:
+        """Current value (0 if never incremented)."""
+        return self._store.get(self.name, 0) + self.pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.get()})"
 
 
 class Stats:
@@ -22,31 +62,61 @@ class Stats:
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)
+        self._cells: Dict[str, Counter] = {}
+
+    def _flush(self) -> None:
+        """Fold every cell's pending increments into the shared store."""
+        counters = self._counters
+        for cell in self._cells.values():
+            pending = cell.pending
+            if pending:
+                counters[cell.name] += pending
+                cell.pending = 0
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
         self._counters[name] += amount
 
+    def counter(self, name: str) -> Counter:
+        """Return the interned :class:`Counter` handle for ``name``.
+
+        Repeated calls with the same name return the same cell. Creating
+        a handle does not create the counter: it appears in ``snapshot``
+        only once incremented, exactly like the string path.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = Counter(self._counters, sys.intern(name))
+            self._cells[cell.name] = cell
+        return cell
+
     def set(self, name: str, value: float) -> None:
         """Set counter ``name`` to ``value``, overwriting any prior value."""
+        self._flush()
         self._counters[name] = value
 
     def get(self, name: str, default: float = 0) -> float:
         """Return the value of ``name``, or ``default`` if never touched."""
+        self._flush()
         return self._counters.get(name, default)
 
     def __getitem__(self, name: str) -> float:
+        self._flush()
         return self._counters.get(name, 0)
 
     def __contains__(self, name: str) -> bool:
+        self._flush()
         return name in self._counters
 
     def items(self) -> Iterator[Tuple[str, float]]:
         """Iterate over ``(name, value)`` pairs in sorted name order."""
+        self._flush()
         return iter(sorted(self._counters.items()))
 
     def merge(self, other: "Stats") -> None:
         """Add every counter of ``other`` into this instance."""
+        other._flush()
+        self._flush()
         for name, value in other._counters.items():
             self._counters[name] += value
 
@@ -56,6 +126,7 @@ class Stats:
 
     def with_prefix(self, prefix: str) -> Dict[str, float]:
         """Return a dict of all counters whose name starts with ``prefix``."""
+        self._flush()
         dot = prefix if prefix.endswith(".") else prefix + "."
         return {
             name: value
@@ -65,10 +136,12 @@ class Stats:
 
     def snapshot(self) -> Dict[str, float]:
         """Return a plain-dict copy of all counters."""
+        self._flush()
         return dict(self._counters)
 
     def diff(self, earlier: Mapping[str, float]) -> Dict[str, float]:
         """Return counters minus an earlier :meth:`snapshot`."""
+        self._flush()
         out: Dict[str, float] = {}
         for name, value in self._counters.items():
             delta = value - earlier.get(name, 0)
@@ -78,9 +151,12 @@ class Stats:
 
     def clear(self) -> None:
         """Reset all counters."""
+        for cell in self._cells.values():
+            cell.pending = 0
         self._counters.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        self._flush()
         return f"Stats({len(self._counters)} counters)"
 
 
@@ -98,6 +174,10 @@ class ScopedStats:
 
     def add(self, name: str, amount: float = 1) -> None:
         self._parent.add(self._prefix + name, amount)
+
+    def counter(self, name: str) -> Counter:
+        """Interned handle for ``prefix + name`` (see :meth:`Stats.counter`)."""
+        return self._parent.counter(self._prefix + name)
 
     def set(self, name: str, value: float) -> None:
         self._parent.set(self._prefix + name, value)

@@ -24,7 +24,7 @@ from repro.workloads.profiles import (
 from repro.workloads.trace import Alloc, Compute, Free, Touch, Trace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkloadSpec:
     """Statistical description of one workload."""
 

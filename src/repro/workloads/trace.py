@@ -12,26 +12,32 @@ A workload is a deterministic sequence of four event kinds:
 
 Traces are replayed against a baseline or Memento system by the harness;
 they are also analyzed directly for the characterization figures.
+
+For replay, :meth:`Trace.columnar` packs the event list into
+:class:`ColumnarTrace` — five parallel ``array`` columns (a kind tag plus
+four integer operand slots) — so the harness's hot loop iterates machine
+integers instead of chasing per-event objects and ``isinstance`` chains.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterator, List, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Alloc:
     obj: int
     size: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Free:
     obj: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Touch:
     obj: int
     lines: int = 1
@@ -39,13 +45,104 @@ class Touch:
     write: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     cycles: int
     dram_bytes: int = 0
 
 
 Event = Union[Alloc, Free, Touch, Compute]
+
+#: Columnar kind tags (stable — BENCH trajectories and any persisted
+#: packed traces rely on them).
+KIND_ALLOC = 0
+KIND_FREE = 1
+KIND_TOUCH = 2
+KIND_COMPUTE = 3
+
+
+class ColumnarTrace:
+    """Packed struct-of-arrays form of an event sequence.
+
+    ``kinds[i]`` tags event ``i``; the operand columns ``f0..f3`` carry its
+    fields (unused slots are zero):
+
+    =========  =====  ========  =============  =========
+    kind       f0     f1        f2             f3
+    =========  =====  ========  =============  =========
+    ALLOC      obj    size      —              —
+    FREE       obj    —         —              —
+    TOUCH      obj    lines     line_offset    write
+    COMPUTE    cycles dram      —              —
+    =========  =====  ========  =============  =========
+    """
+
+    __slots__ = ("kinds", "f0", "f1", "f2", "f3")
+
+    def __init__(
+        self,
+        kinds: array,
+        f0: array,
+        f1: array,
+        f2: array,
+        f3: array,
+    ) -> None:
+        self.kinds = kinds
+        self.f0 = f0
+        self.f1 = f1
+        self.f2 = f2
+        self.f3 = f3
+
+    @classmethod
+    def pack(cls, events: List[Event]) -> Optional["ColumnarTrace"]:
+        """Pack ``events``; returns None if any event is not one of the
+        four canonical kinds (the replayer then falls back to objects)."""
+        kinds = array("B", bytes(len(events)))
+        f0 = array("q", kinds)
+        f1 = array("q", kinds)
+        f2 = array("q", kinds)
+        f3 = array("q", kinds)
+        for index, event in enumerate(events):
+            kind = type(event)
+            if kind is Touch:
+                kinds[index] = KIND_TOUCH
+                f0[index] = event.obj
+                f1[index] = event.lines
+                f2[index] = event.line_offset
+                f3[index] = 1 if event.write else 0
+            elif kind is Compute:
+                kinds[index] = KIND_COMPUTE
+                f0[index] = event.cycles
+                f1[index] = event.dram_bytes
+            elif kind is Alloc:
+                kinds[index] = KIND_ALLOC
+                f0[index] = event.obj
+                f1[index] = event.size
+            elif kind is Free:
+                kinds[index] = KIND_FREE
+                f0[index] = event.obj
+            else:
+                return None
+        return cls(kinds, f0, f1, f2, f3)
+
+    def to_events(self) -> List[Event]:
+        """Inverse of :meth:`pack` (round-trip tested)."""
+        out: List[Event] = []
+        for kind, a, b, c, d in zip(
+            self.kinds, self.f0, self.f1, self.f2, self.f3
+        ):
+            if kind == KIND_TOUCH:
+                out.append(Touch(a, b, c, bool(d)))
+            elif kind == KIND_COMPUTE:
+                out.append(Compute(a, b))
+            elif kind == KIND_ALLOC:
+                out.append(Alloc(a, b))
+            else:
+                out.append(Free(a))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.kinds)
 
 
 @dataclass
@@ -56,6 +153,14 @@ class Trace:
     language: str
     category: str  # "function" | "dataproc" | "platform"
     events: List[Event] = field(default_factory=list)
+    # Lazily built caches, invalidated when the event count changes
+    # (traces are append-only between builds and replays).
+    _summary: Optional[Tuple[int, int, int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _columnar: Optional[Tuple[int, Optional[ColumnarTrace]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
@@ -63,20 +168,45 @@ class Trace:
     def __len__(self) -> int:
         return len(self.events)
 
+    def _summarize(self) -> Tuple[int, int, int, int]:
+        """One cached pass for the O(n) summary properties."""
+        summary = self._summary
+        if summary is None or summary[0] != len(self.events):
+            allocs = frees = alloc_bytes = 0
+            for event in self.events:
+                kind = type(event)
+                if kind is Alloc:
+                    allocs += 1
+                    alloc_bytes += event.size
+                elif kind is Free:
+                    frees += 1
+            summary = (len(self.events), allocs, frees, alloc_bytes)
+            self._summary = summary
+        return summary
+
     @property
     def alloc_count(self) -> int:
-        return sum(1 for e in self.events if isinstance(e, Alloc))
+        return self._summarize()[1]
 
     @property
     def free_count(self) -> int:
-        return sum(1 for e in self.events if isinstance(e, Free))
+        return self._summarize()[2]
 
     @property
     def total_alloc_bytes(self) -> int:
-        return sum(e.size for e in self.events if isinstance(e, Alloc))
+        return self._summarize()[3]
 
     def allocs(self) -> Iterator[Alloc]:
         return (e for e in self.events if isinstance(e, Alloc))
+
+    def columnar(self) -> Optional[ColumnarTrace]:
+        """The packed replay form (built once, re-packed if the event
+        count changed). None when the trace holds non-canonical events."""
+        cached = self._columnar
+        if cached is None or cached[0] != len(self.events):
+            cached = (len(self.events), ColumnarTrace.pack(self.events))
+            self._columnar = cached
+        return cached[1]
 
     def validate(self) -> None:
         """Structural sanity: frees reference live objects exactly once,

@@ -244,3 +244,20 @@ def test_progress_callback_sees_every_run(tmp_path):
     run_workload(spec, engine=engine)
     assert len(events) == 6
     assert all(event[3] == "memo" for event in events[3:])
+
+
+def test_cost_model_fingerprint_is_memoized_per_object():
+    model = CostModel()
+    digest = cost_model_fingerprint(model)
+    assert cost_model_fingerprint(model) == digest
+    assert len(digest) == 16
+
+
+def test_cost_model_fingerprint_tracks_content():
+    base = CostModel()
+    tweaked = replace(base, page_fault=base.page_fault + 1)
+    assert cost_model_fingerprint(tweaked) != cost_model_fingerprint(base)
+    # A distinct but equal-content instance digests identically, so the
+    # identity-keyed memo never changes what the cache keys contain.
+    clone = CostModel()
+    assert cost_model_fingerprint(clone) == cost_model_fingerprint(base)

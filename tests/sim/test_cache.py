@@ -156,3 +156,12 @@ def test_present_checks_all_levels(hierarchy):
     assert not caches.present(0x1000)
     caches.access(0x1000)
     assert caches.present(0x1000)
+
+
+def test_flush_all_writes_back_dirty_l1_lines(hierarchy):
+    caches, stats, _, _ = hierarchy
+    caches.access(0x80, write=True)  # dirty in L1 after the fill
+    before = stats["dram.write_bytes"]
+    caches.flush_all()
+    assert stats["dram.write_bytes"] >= before + 64
+    assert not caches.present(0x80)

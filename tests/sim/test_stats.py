@@ -80,3 +80,72 @@ def test_clear_resets():
     stats.add("x", 9)
     stats.clear()
     assert stats["x"] == 0
+
+
+# -- Counter handles (interned cells for hot emitters) ---------------------
+
+
+def test_counter_handles_are_interned():
+    stats = Stats()
+    assert stats.counter("hits") is stats.counter("hits")
+    assert stats.counter("hits") is not stats.counter("misses")
+
+
+def test_counter_handle_matches_string_path():
+    stats = Stats()
+    cell = stats.counter("hits")
+    cell.add(3)
+    stats.add("hits", 2)
+    assert stats["hits"] == 5
+
+
+def test_pending_bumps_fold_on_read():
+    stats = Stats()
+    cell = stats.counter("hits")
+    cell.pending += 7
+    # Reading through any surface folds the pending amount in.
+    assert stats["hits"] == 7
+    assert cell.pending == 0
+    cell.pending += 1
+    assert stats.get("hits") == 8
+
+
+def test_pending_visible_in_snapshot_and_diff():
+    stats = Stats()
+    cell = stats.counter("x")
+    cell.pending += 4
+    before = stats.snapshot()
+    assert before["x"] == 4
+    cell.pending += 2
+    assert stats.diff(before) == {"x": 2}
+
+
+def test_pending_visible_through_merge():
+    a, b = Stats(), Stats()
+    b.counter("x").pending += 3
+    a.merge(b)
+    assert a["x"] == 3
+
+
+def test_scoped_counter_prefixes_name():
+    stats = Stats()
+    cell = stats.scoped("l1d").counter("hits")
+    cell.pending += 2
+    assert stats["l1d.hits"] == 2
+
+
+def test_handle_creation_does_not_create_counter():
+    stats = Stats()
+    stats.counter("idle")
+    assert "idle" not in stats.snapshot()
+
+
+def test_clear_resets_pending_cells():
+    stats = Stats()
+    cell = stats.counter("x")
+    cell.pending += 9
+    stats.clear()
+    assert stats["x"] == 0
+    assert cell.pending == 0
+    cell.pending += 1
+    assert stats["x"] == 1

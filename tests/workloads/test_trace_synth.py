@@ -198,3 +198,56 @@ def test_any_spec_generates_valid_trace_property(seed, phases, short):
         lifetime=LifetimeProfile(short=short, medium=min(0.2, 1 - short)),
     )
     generate_trace(spec).validate()
+
+
+# ---------------------------------------------------------------- columnar
+
+
+def test_columnar_round_trips_canonical_events():
+    trace = generate_trace(small_spec())
+    packed = trace.columnar()
+    assert packed is not None
+    assert len(packed) == len(trace)
+    assert packed.to_events() == trace.events
+
+
+def test_columnar_is_memoized_and_refreshed_on_growth():
+    trace = generate_trace(small_spec())
+    first = trace.columnar()
+    assert trace.columnar() is first
+    trace.events.append(Touch(0))
+    second = trace.columnar()
+    assert second is not first
+    assert len(second) == len(trace)
+
+
+def test_columnar_rejects_noncanonical_events():
+    class Odd:
+        pass
+
+    trace = Trace("x", "python", "function", [Alloc(0, 16), Odd()])
+    assert trace.columnar() is None
+
+
+def test_summary_properties_match_events_and_refresh():
+    trace = generate_trace(small_spec())
+    allocs = [e for e in trace.events if isinstance(e, Alloc)]
+    frees = [e for e in trace.events if isinstance(e, Free)]
+    assert trace.alloc_count == len(allocs)
+    assert trace.free_count == len(frees)
+    assert trace.total_alloc_bytes == sum(e.size for e in allocs)
+    trace.events.append(Alloc(1 << 40, 24))
+    assert trace.alloc_count == len(allocs) + 1
+    assert trace.total_alloc_bytes == sum(e.size for e in allocs) + 24
+
+
+def test_columnar_replay_matches_event_replay():
+    from repro.harness.system import SimulatedSystem
+
+    spec = small_spec(num_allocs=800)
+    trace = generate_trace(spec)
+    fast = SimulatedSystem(spec, memento=False).run(trace)
+    slow_trace = generate_trace(spec)
+    slow_trace.columnar = lambda: None  # force the per-event fallback
+    slow = SimulatedSystem(spec, memento=False).run(slow_trace)
+    assert fast.to_dict() == slow.to_dict()
