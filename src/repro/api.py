@@ -1,0 +1,94 @@
+"""The stable public API facade.
+
+``repro.api`` is the supported entry point for scripting against the
+reproduction: experiment execution (engine, requests, results),
+configuration, workload lookup, and observability. Internal module paths
+(``repro.harness.engine``, ``repro.obs.tracing``, ...) may reorganize
+between PRs; the names exported here — and their signatures — stay
+stable. Import from here in notebooks, downstream scripts, and docs::
+
+    from repro.api import run_workload, get_workload, Tracer, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    result = run_workload(get_workload("html"))
+    print(result.speedup)
+    print(render_span_tree(tracer.to_dict()))
+    set_tracer(None)
+
+Everything in ``__all__`` is covered by the round-trip conventions
+documented in DESIGN.md: result/config objects expose
+``to_dict``/``from_dict``, engines honor ``REPRO_CACHE_DIR`` /
+``REPRO_NO_CACHE`` / ``REPRO_NO_LEDGER``, and tracing defaults to the
+zero-cost null tracer.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MementoConfig
+from repro.harness.engine import (
+    ExperimentEngine,
+    RunRequest,
+    cost_model_fingerprint,
+    get_default_engine,
+    source_fingerprint,
+)
+from repro.harness.experiment import (
+    WorkloadResult,
+    geometric_mean,
+    run_all,
+    run_workload,
+)
+from repro.harness.system import RunResult, SimulatedSystem
+from repro.obs import (
+    EventRing,
+    NullTracer,
+    RunLedger,
+    Tracer,
+    default_ledger_path,
+    get_ring,
+    get_tracer,
+    install_ring,
+    render_span_tree,
+    set_tracer,
+)
+from repro.sim.params import MachineParams
+from repro.sim.stats import Stats
+from repro.workloads.registry import all_workloads, get_workload
+from repro.workloads.synth import WorkloadSpec, generate_trace
+
+__all__ = [
+    # experiment execution
+    "ExperimentEngine",
+    "RunRequest",
+    "RunResult",
+    "SimulatedSystem",
+    "WorkloadResult",
+    "get_default_engine",
+    "run_all",
+    "run_workload",
+    # configuration
+    "MachineParams",
+    "MementoConfig",
+    # workloads
+    "WorkloadSpec",
+    "all_workloads",
+    "generate_trace",
+    "get_workload",
+    # observability
+    "EventRing",
+    "NullTracer",
+    "RunLedger",
+    "Tracer",
+    "default_ledger_path",
+    "get_ring",
+    "get_tracer",
+    "install_ring",
+    "render_span_tree",
+    "set_tracer",
+    # provenance / stats
+    "Stats",
+    "cost_model_fingerprint",
+    "geometric_mean",
+    "source_fingerprint",
+]

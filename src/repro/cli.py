@@ -7,11 +7,22 @@ Commands:
   ``--all`` replays the full 23-workload evaluation, ``--jobs N`` fans
   the runs out over worker processes, and completed runs persist in the
   on-disk result cache (``.repro-cache/``) so re-invocations are warm.
+  ``--trace`` prints the span tree; ``--metrics out.prom`` exports the
+  run's counters as Prometheus text plus a JSONL sidecar.
 * ``cache info|clear`` — inspect or empty the persistent result cache.
 * ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
 * ``sweep NAME`` — one sensitivity study (populate, multiprocess,
   tuning, fragmentation, coldstart, iso-storage, mallacc, ablation).
 * ``energy WORKLOAD`` — the energy comparison for one workload.
+* ``bench`` — the replay-throughput microbenchmark.
+* ``obs report|diff|check`` — render the run ledger and exported
+  metrics, diff two metric/bench files, or gate on a perf regression
+  against the committed ``BENCH_*.json`` baseline.
+
+Conventions (shared by every handler): handlers take the parsed
+``argparse.Namespace`` and return the process exit code — 0 on success,
+1 on an operational error (reported as ``repro: error: ...`` on stderr
+by ``main``'s shared handler), 2 on a usage error.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from repro.analysis.characterize import (
 from repro.analysis.energy import EnergyModel
 from repro.analysis.pricing import PricingModel
 from repro.analysis.report import render_grouped, render_table
+from repro.core.errors import MementoError
 from repro.harness.engine import (
     DEFAULT_CACHE_DIR,
     DiskCache,
@@ -42,6 +54,23 @@ from repro.harness.engine import (
 )
 from repro.harness.experiment import run_all, run_workload
 from repro.harness import sweeps
+from repro.obs import (
+    EventRing,
+    RunLedger,
+    Tracer,
+    check_bench,
+    check_ledger_determinism,
+    default_ledger_path,
+    event_record,
+    install_ring,
+    read_jsonl,
+    render_span_tree,
+    run_record,
+    set_tracer,
+    span_record,
+    write_jsonl,
+    write_prometheus,
+)
 from repro.workloads.registry import all_workloads, get_workload
 from repro.workloads.synth import generate_trace
 
@@ -56,6 +85,10 @@ SWEEPS = {
     "ablation": sweeps.ablation_study,
 }
 
+#: Exceptions ``main`` converts into the shared ``repro: error:`` report
+#: with exit code 1 (anything else is a bug and propagates loudly).
+_REPORTED_ERRORS = (KeyError, ValueError, FileNotFoundError, MementoError)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -64,10 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the paper's workloads")
+    list_parser = sub.add_parser("list", help="list the paper's workloads")
+    list_parser.set_defaults(handler=cmd_list)
 
     run_parser = sub.add_parser("run", help="run workloads on both stacks")
     run_parser.add_argument("workloads", nargs="*", metavar="WORKLOAD")
+    run_parser.add_argument(
+        "--workload", action="append", dest="named_workloads",
+        default=[], metavar="WORKLOAD",
+        help="workload to run (repeatable; same as the positional form)",
+    )
     run_parser.add_argument(
         "--all", action="store_true", dest="run_all",
         help="run the full 23-workload evaluation",
@@ -88,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
     )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="record spans + sampled hardware events; print the span tree",
+    )
+    run_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export counters as Prometheus text at PATH and JSON-lines "
+        "at PATH.jsonl",
+    )
+    run_parser.set_defaults(handler=cmd_run)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -97,18 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
     )
+    cache_parser.set_defaults(handler=cmd_cache)
 
-    sub.add_parser(
+    characterize_parser = sub.add_parser(
         "characterize", help="regenerate the §2.2 allocation study"
     )
+    characterize_parser.set_defaults(handler=cmd_characterize)
 
     sweep_parser = sub.add_parser("sweep", help="run a sensitivity study")
     sweep_parser.add_argument("name", choices=sorted(SWEEPS))
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     energy_parser = sub.add_parser(
         "energy", help="energy comparison for one workload"
     )
     energy_parser.add_argument("workload", metavar="WORKLOAD")
+    energy_parser.set_defaults(handler=cmd_energy)
 
     bench_parser = sub.add_parser(
         "bench", help="replay-throughput microbenchmark (BENCH_<date>.json)"
@@ -137,10 +190,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", default=None, metavar="JSON",
         help="previous BENCH_*.json to compute per-key speedups against",
     )
+    bench_parser.set_defaults(handler=cmd_bench)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: run ledger, metrics, regression gate"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    report_parser = obs_sub.add_parser(
+        "report", help="render the run ledger and exported metrics"
+    )
+    report_parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger file (default: <cache-dir>/ledger.jsonl)",
+    )
+    report_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="metrics JSONL exported by `repro run --metrics`",
+    )
+    report_parser.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="ledger entries to show (default: 20)",
+    )
+    report_parser.set_defaults(handler=cmd_obs_report)
+
+    diff_parser = obs_sub.add_parser(
+        "diff", help="diff two metric JSONL or BENCH json files"
+    )
+    diff_parser.add_argument("old", metavar="OLD")
+    diff_parser.add_argument("new", metavar="NEW")
+    diff_parser.set_defaults(handler=cmd_obs_diff)
+
+    check_parser = obs_sub.add_parser(
+        "check", help="fail when a bench payload regresses vs the baseline"
+    )
+    check_parser.add_argument(
+        "--bench", default=None, metavar="JSON",
+        help="current bench payload (e.g. bench-smoke.json)",
+    )
+    check_parser.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="baseline payload (default: newest committed BENCH_*.json)",
+    )
+    check_parser.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="max tolerated events/sec loss in percent (default: 10)",
+    )
+    check_parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="also check this ledger for determinism conflicts "
+        "(default: <cache-dir>/ledger.jsonl when present)",
+    )
+    check_parser.add_argument(
+        "--smoke", action="store_true",
+        help="report-only: never fail on timing (CI machines are noisy)",
+    )
+    check_parser.set_defaults(handler=cmd_obs_check)
     return parser
 
 
-def cmd_list() -> int:
+def _usage_error(message: str) -> int:
+    """Shared usage-error convention: message on stderr, exit code 2."""
+    print(f"repro: {message}", file=sys.stderr)
+    return 2
+
+
+def _default_cache_dir(cache_dir: Optional[str]) -> str:
+    if cache_dir is None:
+        return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return cache_dir
+
+
+def cmd_list(args: argparse.Namespace) -> int:
     rows = [
         [
             spec.name,
@@ -180,17 +301,57 @@ def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     )
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    if args.run_all == bool(args.workloads):
-        print("run: name workloads or pass --all (not both)", file=sys.stderr)
-        return 2
-    engine = _make_engine(args)
-    specs = (
-        None
-        if args.run_all
-        else [get_workload(name) for name in args.workloads]
+def _export_metrics(path: str, results, tracer, ring) -> None:
+    """Write the Prometheus text file and its JSONL sidecar."""
+    snapshots = []
+    records = []
+    for result in results:
+        for stack, run in (
+            ("baseline", result.baseline),
+            ("memento", result.memento),
+            ("memento_nobypass", result.memento_nobypass),
+        ):
+            summary = run.to_dict()
+            snapshots.append({
+                "labels": {"workload": result.spec.name, "stack": stack},
+                "counters": summary["stats"],
+            })
+            records.append(run_record(summary, stack=stack))
+    if tracer is not None:
+        records.append(span_record(tracer.to_dict()))
+    if ring is not None:
+        records.append(event_record(ring.to_dict()))
+    out = Path(path)
+    write_prometheus(out, snapshots)
+    write_jsonl(out.with_name(out.name + ".jsonl"), records)
+    print(
+        f"wrote {out} and {out.name}.jsonl "
+        f"({len(snapshots)} runs)",
+        file=sys.stderr,
     )
-    results = run_all(specs, cold_start=args.cold_start, engine=engine)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.workloads) + list(args.named_workloads)
+    if args.run_all == bool(names):
+        return _usage_error("run: name workloads or pass --all (not both)")
+    tracer = ring = None
+    previous_tracer = previous_ring = None
+    if args.trace:
+        tracer = Tracer()
+        ring = EventRing()
+        previous_tracer = set_tracer(tracer)
+        previous_ring = install_ring(ring)
+    try:
+        engine = _make_engine(args)
+        specs = (
+            None if args.run_all else [get_workload(name) for name in names]
+        )
+        results = run_all(specs, cold_start=args.cold_start, engine=engine)
+    finally:
+        if args.trace:
+            set_tracer(previous_tracer)
+            install_ring(previous_ring)
     pricing = PricingModel()
     rows = []
     for result in results:
@@ -211,6 +372,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         title=("Cold-started" if args.cold_start else "Warm") +
         " baseline vs Memento",
     ))
+    if tracer is not None:
+        print()
+        print("Span tree")
+        print("=========")
+        print(render_span_tree(tracer.to_dict()))
+    if args.metrics:
+        _export_metrics(args.metrics, results, tracer, ring)
     counters = engine.summary()
     hits = int(
         counters.get("engine.memo.hits", 0)
@@ -225,11 +393,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_cache(action: str, cache_dir: Optional[str]) -> int:
-    if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-    cache = DiskCache(Path(cache_dir))
-    if action == "info":
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = DiskCache(Path(_default_cache_dir(args.cache_dir)))
+    if args.action == "info":
         info = cache.info()
         rows = [[key, info[key]] for key in ("path", "entries", "bytes")]
         rows.append(["source fingerprint", source_fingerprint()])
@@ -240,7 +406,7 @@ def cmd_cache(action: str, cache_dir: Optional[str]) -> int:
     return 0
 
 
-def cmd_characterize() -> int:
+def cmd_characterize(args: argparse.Namespace) -> int:
     traces = [generate_trace(spec) for spec in all_workloads()]
     sizes = size_distribution(traces)
     lifetimes = lifetime_distribution(traces)
@@ -267,8 +433,8 @@ def cmd_characterize() -> int:
     return 0
 
 
-def cmd_sweep(name: str) -> int:
-    result = SWEEPS[name]()
+def cmd_sweep(args: argparse.Namespace) -> int:
+    result = SWEEPS[args.name]()
     if isinstance(result, dict) and all(
         isinstance(v, dict) for v in result.values()
     ):
@@ -279,30 +445,30 @@ def cmd_sweep(name: str) -> int:
             [key] + [value.get(col, "") for col in headers[1:]]
             for key, value in result.items()
         ]
-        print(render_table(headers, rows, title=f"sweep: {name}"))
+        print(render_table(headers, rows, title=f"sweep: {args.name}"))
     else:
         print(render_table(
             ["metric", "value"], sorted(result.items()),
-            title=f"sweep: {name}",
+            title=f"sweep: {args.name}",
         ))
     return 0
 
 
-def cmd_energy(name: str) -> int:
+def cmd_energy(args: argparse.Namespace) -> int:
     model = EnergyModel()
-    report = model.report(run_workload(get_workload(name)))
+    report = model.report(run_workload(get_workload(args.workload)))
     print(render_table(
         ["metric", "value"],
         [
             [k, f"{v:.3e}" if k.endswith("_j") else f"{v:.4f}"]
             for k, v in report.items()
         ],
-        title=f"Memory-management energy: {name}",
+        title=f"Memory-management energy: {args.workload}",
     ))
     return 0
 
 
-def cmd_bench(args) -> int:
+def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import perfbench
 
     payload = perfbench.run_bench(
@@ -340,6 +506,13 @@ def cmd_bench(args) -> int:
             f"({cache['disk_hit_speedup']:.0f}x), "
             f"memo hit {cache['memo_hit_seconds'] * 1e3:.3f} ms"
         )
+    if "obs_overhead" in payload:
+        obs = payload["obs_overhead"]
+        print(
+            f"obs overhead: disabled {obs['disabled_seconds'] * 1e3:.1f} ms, "
+            f"enabled {obs['enabled_seconds'] * 1e3:.1f} ms "
+            f"({(obs['overhead_ratio'] - 1) * 100:+.1f}%)"
+        )
     if "comparison" in payload:
         for key, ratio in sorted(payload["comparison"]["speedup"].items()):
             print(f"  {key}: {ratio:.2f}x vs {payload['comparison']['reference']}")
@@ -347,23 +520,246 @@ def cmd_bench(args) -> int:
     return 0
 
 
+# -- repro obs ----------------------------------------------------------------
+
+
+def _ledger_at(path: Optional[str]) -> RunLedger:
+    if path is not None:
+        return RunLedger(Path(path))
+    return RunLedger(default_ledger_path(_default_cache_dir(None)))
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    ledger = _ledger_at(args.ledger)
+    printed = False
+    entries = ledger.tail(args.last)
+    if entries:
+        rows = [
+            [
+                entry.get("workload", "?"),
+                entry.get("stack", "?"),
+                entry.get("source", "?"),
+                f"{entry.get('elapsed_s', 0.0):.2f}",
+                f"{entry.get('total_cycles') or 0:,.0f}",
+                entry.get("counter_digest", ""),
+            ]
+            for entry in entries
+        ]
+        print(render_table(
+            ["workload", "stack", "source", "elapsed s", "total cycles",
+             "digest"],
+            rows,
+            title=f"run ledger: last {len(entries)} of "
+            f"{len(ledger.read())} ({ledger.path})",
+        ))
+        determinism = check_ledger_determinism(ledger)
+        if determinism["conflicts"]:
+            print(
+                "WARNING: counter digests disagree for "
+                f"{len(determinism['conflicts'])} content key(s) — "
+                "nondeterministic replay or stale fingerprints"
+            )
+        printed = True
+    if args.metrics:
+        records = read_jsonl(Path(args.metrics))
+        runs = [r for r in records if r.get("kind") == "run"]
+        if runs:
+            if printed:
+                print()
+            print(render_table(
+                ["workload", "stack", "total cycles", "sim seconds",
+                 "dram MB"],
+                [
+                    [
+                        run.get("workload", "?"),
+                        run.get("stack", "?"),
+                        f"{run.get('total_cycles') or 0:,.0f}",
+                        f"{run.get('seconds') or 0.0:.6f}",
+                        f"{(run.get('dram_bytes') or 0) / 1e6:.2f}",
+                    ]
+                    for run in runs
+                ],
+                title=f"metric runs ({args.metrics})",
+            ))
+            printed = True
+        for record in records:
+            if record.get("kind") == "spans" and record.get("spans"):
+                print()
+                print("Span tree")
+                print("=========")
+                print(render_span_tree({"spans": record["spans"]}))
+                printed = True
+            elif record.get("kind") == "events" and record.get("counts"):
+                print()
+                print(render_table(
+                    ["event", "count"],
+                    sorted(record["counts"].items()),
+                    title="sampled hardware events",
+                ))
+                printed = True
+    if not printed:
+        print("nothing to report: no ledger entries or metric records")
+    return 0
+
+
+def _load_payload(path: Path):
+    """Sniff OLD/NEW diff operands: bench JSON dict or metrics JSONL.
+
+    A one-line JSONL file also parses as a JSON document, so the
+    ``kind`` discriminator (present on every metrics record, never on a
+    bench payload) decides, not parseability alone.
+    """
+    import json
+
+    text = path.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+        if isinstance(payload, dict) and "kind" not in payload:
+            return "bench", payload
+    except json.JSONDecodeError:
+        pass
+    return "jsonl", read_jsonl(path)
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.harness import perfbench
+
+    old_path, new_path = Path(args.old), Path(args.new)
+    old_kind, old = _load_payload(old_path)
+    new_kind, new = _load_payload(new_path)
+    if old_kind != new_kind:
+        return _usage_error(
+            "obs diff: operands must both be bench JSON or both JSONL"
+        )
+    if old_kind == "bench":
+        speedups = perfbench.compare(
+            new.get("replay", new), old.get("replay", old)
+        )
+        if not speedups:
+            return _usage_error("obs diff: no overlapping replay keys")
+        print(render_table(
+            ["workload/stack", "new/old events/sec"],
+            [[key, f"{ratio:.3f}x"] for key, ratio in sorted(speedups.items())],
+            title=f"bench diff: {new_path.name} vs {old_path.name}",
+        ))
+        return 0
+    old_runs = {
+        (r.get("workload"), r.get("stack")): r
+        for r in old if r.get("kind") == "run"
+    }
+    new_runs = {
+        (r.get("workload"), r.get("stack")): r
+        for r in new if r.get("kind") == "run"
+    }
+    keys = sorted(set(old_runs) & set(new_runs))
+    if not keys:
+        return _usage_error("obs diff: no overlapping run records")
+    rows = []
+    for key in keys:
+        o, n = old_runs[key], new_runs[key]
+        o_cycles = o.get("total_cycles") or 0
+        n_cycles = n.get("total_cycles") or 0
+        same = o.get("counters", {}) == n.get("counters", {})
+        rows.append([
+            f"{key[0]}/{key[1]}",
+            f"{o_cycles:,.0f}",
+            f"{n_cycles:,.0f}",
+            f"{(n_cycles / o_cycles - 1) * 100:+.2f}%" if o_cycles else "n/a",
+            "yes" if same else "NO",
+        ])
+    print(render_table(
+        ["workload/stack", "old cycles", "new cycles", "delta",
+         "counters equal"],
+        rows,
+        title=f"metrics diff: {new_path.name} vs {old_path.name}",
+    ))
+    return 0
+
+
+def _find_baseline() -> Optional[Path]:
+    """Newest committed full-bench payload in the working directory."""
+    candidates = sorted(
+        p for p in Path.cwd().glob("BENCH_*.json")
+        if not p.name.endswith(".smoke.json")
+    )
+    return candidates[-1] if candidates else None
+
+
+def cmd_obs_check(args: argparse.Namespace) -> int:
+    import json
+
+    failed = False
+    checked = False
+    baseline_path = (
+        Path(args.baseline) if args.baseline else _find_baseline()
+    )
+    if args.bench:
+        if baseline_path is None:
+            return _usage_error(
+                "obs check: no BENCH_*.json baseline found; pass --baseline"
+            )
+        current = json.loads(Path(args.bench).read_text())
+        baseline = json.loads(baseline_path.read_text())
+        verdict = check_bench(current, baseline, args.threshold)
+        rows = [
+            [
+                row["key"],
+                f"{row['baseline']:,.0f}" if row["baseline"] else "-",
+                f"{row['current']:,.0f}" if row["current"] else "-",
+                f"{row['ratio']:.3f}x" if row["ratio"] else "-",
+                "REGRESSED" if row["regressed"] else "ok",
+            ]
+            for row in verdict["rows"]
+        ]
+        print(render_table(
+            ["workload/stack", "baseline ev/s", "current ev/s", "ratio",
+             "verdict"],
+            rows,
+            title=f"regression gate: {args.bench} vs {baseline_path.name} "
+            f"(threshold {verdict['threshold_pct']:.0f}%)",
+        ))
+        checked = True
+        failed = failed or not verdict["ok"]
+    ledger_path = (
+        Path(args.ledger)
+        if args.ledger
+        else default_ledger_path(_default_cache_dir(None))
+    )
+    if ledger_path.exists():
+        determinism = check_ledger_determinism(RunLedger(ledger_path))
+        conflicts = determinism["conflicts"]
+        print(
+            f"ledger determinism: "
+            + (
+                f"{len(conflicts)} conflicting key(s)"
+                if conflicts
+                else f"ok ({ledger_path})"
+            )
+        )
+        checked = True
+        failed = failed or bool(conflicts)
+    if not checked:
+        return _usage_error(
+            "obs check: nothing to check (pass --bench and/or have a ledger)"
+        )
+    if failed and args.smoke:
+        print("obs check: regressions found (report-only in --smoke mode)")
+        return 0
+    if failed:
+        print("obs check: FAILED", file=sys.stderr)
+        return 1
+    print("obs check: ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return cmd_list()
-    if args.command == "run":
-        return cmd_run(args)
-    if args.command == "cache":
-        return cmd_cache(args.action, args.cache_dir)
-    if args.command == "characterize":
-        return cmd_characterize()
-    if args.command == "sweep":
-        return cmd_sweep(args.name)
-    if args.command == "energy":
-        return cmd_energy(args.workload)
-    if args.command == "bench":
-        return cmd_bench(args)
-    return 1  # pragma: no cover - argparse enforces choices
+    try:
+        return args.handler(args)
+    except _REPORTED_ERRORS as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

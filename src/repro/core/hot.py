@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.core.arena import ArenaHeader
 from repro.core.config import MementoConfig
+from repro.obs import events as obs_events
 from repro.sim.stats import ScopedStats
 
 
@@ -45,6 +46,7 @@ class HardwareObjectTable:
         "_alloc_misses",
         "_free_hits",
         "_free_misses",
+        "_ring",
     )
 
     def __init__(self, config: MementoConfig, stats: ScopedStats) -> None:
@@ -60,6 +62,9 @@ class HardwareObjectTable:
         self._alloc_misses = stats.counter("alloc_misses")
         self._free_hits = stats.counter("free_hits")
         self._free_misses = stats.counter("free_misses")
+        #: Sampled hardware-event ring, bound at construction (None keeps
+        #: the record paths to a single attribute test when sampling is off).
+        self._ring = obs_events.RING
 
     def lookup(self, size_class: int) -> HotEntry:
         """Direct-mapped index by size class (no search)."""
@@ -75,9 +80,13 @@ class HardwareObjectTable:
 
     def record_alloc(self, hit: bool) -> None:
         (self._alloc_hits if hit else self._alloc_misses).pending += 1
+        if self._ring is not None:
+            self._ring.record("hot.alloc_hit" if hit else "hot.alloc_miss")
 
     def record_free(self, hit: bool) -> None:
         (self._free_hits if hit else self._free_misses).pending += 1
+        if self._ring is not None:
+            self._ring.record("hot.free_hit" if hit else "hot.free_miss")
 
     def alloc_hit_rate(self) -> float:
         """Fraction of obj-alloc requests satisfied by the resident entry."""

@@ -18,6 +18,7 @@ from repro.core.errors import MementoDoubleFreeError
 from repro.core.hot import HardwareObjectTable
 from repro.core.lists import ArenaList
 from repro.core.region import MementoRegion
+from repro.obs import events as obs_events
 from repro.sim.params import LINE_SHIFT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -81,6 +82,9 @@ class HardwareObjectAllocator:
         self._allocs_cell = self.stats.counter("allocs")
         self._frees_cell = self.stats.counter("frees")
         self._hidden_cell = self.stats.counter("hidden_miss_cycles")
+        #: Sampled hardware-event ring, bound at construction (None keeps
+        #: the obj-alloc/obj-free fast paths to one attribute test each).
+        self._ring = obs_events.RING
 
     # -- obj-alloc (Fig. 6 steps 5-9) ----------------------------------------
 
@@ -97,6 +101,8 @@ class HardwareObjectAllocator:
 
         if header is not None and header.bitmap != header.full_mask:
             self._hot_alloc_hits.pending += 1
+            if self._ring is not None:
+                self._ring.record("hot.alloc_hit", size_class)
         else:
             miss_cycles = self._switch_arena(size_class)
             header = self._hot_entries[size_class].header
@@ -107,6 +113,8 @@ class HardwareObjectAllocator:
             else:
                 cycles += miss_cycles
             self._hot_alloc_misses.pending += 1
+            if self._ring is not None:
+                self._ring.record("hot.alloc_miss", size_class)
 
         # Priority-encoder scan + bitmap set, fused (find_free_slot +
         # set_slot; the arena is guaranteed non-full here).
@@ -202,6 +210,8 @@ class HardwareObjectAllocator:
         if resident is not None and resident.va == arena_base:
             header = resident
             self._hot_free_hits.pending += 1
+            if self._ring is not None:
+                self._ring.record("hot.free_hit", size_class)
             # Inlined _clear_checked: recover the slot index and clear its
             # bitmap bit, validating the operand like the hardware does.
             offset = addr - arena_base - HEADER_BYTES
@@ -220,6 +230,8 @@ class HardwareObjectAllocator:
             header.bitmap &= ~mask
         else:
             self._hot_free_misses.pending += 1
+            if self._ring is not None:
+                self._ring.record("hot.free_miss", size_class)
             header = self.headers.get(arena_base)
             if header is None:
                 raise MementoDoubleFreeError(

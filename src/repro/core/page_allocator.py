@@ -29,6 +29,7 @@ from repro.core.errors import PoolExhaustedError, RegionExhaustedError
 from repro.core.region import MementoRegion
 from repro.kernel.buddy import OutOfMemoryError
 from repro.kernel.page_table import PageTable
+from repro.obs import events as obs_events
 from repro.sim.params import PAGE_SHIFT, PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -113,6 +114,8 @@ class ArenaAllocationCache:
         self.config = config
         self.stats = stats
         self.entries: Dict[int, OrderedDict] = {}
+        #: Sampled hardware-event ring, bound at construction.
+        self._ring = obs_events.RING
 
     def access(self, core_id: int, size_class: int) -> bool:
         """Touch (core, class); return True on an AAC hit."""
@@ -120,11 +123,15 @@ class ArenaAllocationCache:
         if size_class in entry:
             entry.move_to_end(size_class)
             self.stats.add("hits")
+            if self._ring is not None:
+                self._ring.record("aac.hit", size_class)
             return True
         if len(entry) >= self.config.aac_classes_per_core:
             entry.popitem(last=False)
         entry[size_class] = True
         self.stats.add("misses")
+        if self._ring is not None:
+            self._ring.record("aac.miss", size_class)
         return False
 
     def hit_rate(self) -> float:
@@ -146,6 +153,8 @@ class HardwarePageAllocator:
         )
         self.pool: List[int] = []
         self._states: Dict[int, ProcessPageState] = {}
+        #: Sampled hardware-event ring, bound at construction.
+        self._ring = obs_events.RING
 
     # -- process attach/detach ---------------------------------------------
 
@@ -341,6 +350,8 @@ class HardwarePageAllocator:
             + remote * costs.tlb_shootdown,
             "hw_page",
         )
+        if remote and self._ring is not None:
+            self._ring.record("tlb.shootdown", remote)
         owner = state.owner_thread(size_class, va)
         state.free_spans.setdefault((owner, size_class), []).append(va)
         self.stats.add("arenas_freed")

@@ -49,6 +49,8 @@ from repro.allocators import (
 )
 from repro.core.config import MementoConfig
 from repro.harness.system import RunResult, SimulatedSystem
+from repro.obs import ledger as obs_ledger
+from repro.obs.tracing import get_tracer
 from repro.sim.cycles import CostModel, DEFAULT_COSTS
 from repro.sim.params import MachineParams
 from repro.sim.stats import Stats
@@ -334,14 +336,28 @@ class ExperimentEngine:
         use_disk_cache: Optional[bool] = None,
         cost_model: Optional[CostModel] = None,
         progress: Optional[ProgressFn] = None,
+        use_ledger: Optional[bool] = None,
     ) -> None:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         if use_disk_cache is None:
             use_disk_cache = os.environ.get("REPRO_NO_CACHE", "") == ""
+        # The run ledger rides with the disk cache by default: every
+        # engine execution appends one manifest line to
+        # <cache_dir>/ledger.jsonl (REPRO_NO_LEDGER=1 opts out).
+        if use_ledger is None:
+            use_ledger = (
+                use_disk_cache
+                and os.environ.get("REPRO_NO_LEDGER", "") == ""
+            )
         self.jobs = max(1, int(jobs))
         self.cost_model = cost_model or DEFAULT_COSTS
         self.disk = DiskCache(Path(cache_dir)) if use_disk_cache else None
+        self.ledger = (
+            obs_ledger.RunLedger(obs_ledger.default_ledger_path(cache_dir))
+            if use_ledger
+            else None
+        )
         self.progress = progress
         self.stats = Stats()
         self._memo: Dict[str, RunResult] = {}
@@ -364,38 +380,55 @@ class ExperimentEngine:
         the engine default) exceeds one and the batch has several.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
-        keys = [request.content_key(self.cost_model) for request in requests]
-        results: Dict[str, RunResult] = {}
-        misses: List[Tuple[str, RunRequest]] = []
-        sources: Dict[str, str] = {}
-        for key, request in zip(keys, requests):
-            if key in results or any(key == k for k, _ in misses):
-                continue
-            hit = self._lookup(key)
-            if hit is not None:
-                results[key] = hit
-                sources[key] = (
-                    "memo" if key in self._memo else "cache"
-                )
-                if key not in self._memo:
-                    self._memo[key] = hit
-            else:
-                misses.append((key, request))
-        self.stats.add("engine.requests", len(requests))
-        self.stats.add("engine.misses", len(misses))
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.run_many", requests=len(requests)
+        ) as batch_span:
+            with tracer.span("cache.lookup"):
+                keys = [
+                    request.content_key(self.cost_model)
+                    for request in requests
+                ]
+                results: Dict[str, RunResult] = {}
+                misses: List[Tuple[str, RunRequest]] = []
+                sources: Dict[str, str] = {}
+                for key, request in zip(keys, requests):
+                    if key in results or any(key == k for k, _ in misses):
+                        continue
+                    hit = self._lookup(key)
+                    if hit is not None:
+                        results[key] = hit
+                        sources[key] = (
+                            "memo" if key in self._memo else "cache"
+                        )
+                        if key not in self._memo:
+                            self._memo[key] = hit
+                    else:
+                        misses.append((key, request))
+            self.stats.add("engine.requests", len(requests))
+            self.stats.add("engine.misses", len(misses))
+            batch_span.set("misses", len(misses))
 
-        emitted = 0
-        total = len(results) + len(misses)
-        for key in list(results):
-            emitted += 1
-            self._emit(emitted, total, _request_of(requests, keys, key),
-                       sources[key], 0.0)
+            emitted = 0
+            total = len(results) + len(misses)
+            for key in list(results):
+                request = _request_of(requests, keys, key)
+                emitted += 1
+                self._ledger_append(key, request, sources[key], 0.0,
+                                    results[key])
+                self._emit(emitted, total, request, sources[key], 0.0)
 
-        for key, result, elapsed in self._execute_all(misses, jobs):
-            results[key] = result
-            emitted += 1
-            self._emit(emitted, total, _request_of(requests, keys, key),
-                       "live", elapsed)
+            if misses:
+                with tracer.span("execute", misses=len(misses)):
+                    for key, result, elapsed in self._execute_all(
+                        misses, jobs
+                    ):
+                        results[key] = result
+                        request = _request_of(requests, keys, key)
+                        emitted += 1
+                        self._ledger_append(key, request, "live", elapsed,
+                                            result)
+                        self._emit(emitted, total, request, "live", elapsed)
         return [results[key] for key in keys]
 
     def _execute_all(
@@ -459,19 +492,53 @@ class ExperimentEngine:
         result = RunResult.from_dict(data)
         self._memo[key] = result
         if self.disk is not None:
-            self.disk.put(
-                key,
-                {
-                    "schema": SCHEMA_VERSION,
-                    "key": key,
-                    "workload": request.spec.name,
-                    "stack": request.stack,
-                    "elapsed_s": elapsed,
-                    "result": data,
-                },
-            )
+            with get_tracer().span(
+                "cache.admit", workload=request.spec.name
+            ):
+                self.disk.put(
+                    key,
+                    {
+                        "schema": SCHEMA_VERSION,
+                        "key": key,
+                        "workload": request.spec.name,
+                        "stack": request.stack,
+                        "elapsed_s": elapsed,
+                        "result": data,
+                    },
+                )
             self.stats.add("engine.disk.writes")
         return result
+
+    def _ledger_append(
+        self,
+        key: str,
+        request: RunRequest,
+        source: str,
+        elapsed: float,
+        result: RunResult,
+    ) -> None:
+        """Append one run-ledger manifest for an emitted result."""
+        if self.ledger is None:
+            return
+        self.ledger.append(
+            obs_ledger.manifest(
+                key,
+                request.spec.name,
+                request.stack,
+                source,
+                elapsed,
+                {
+                    "total_cycles": result.total_cycles,
+                    "dram_bytes": result.dram_bytes,
+                    "stats": result.stats,
+                },
+                fingerprints={
+                    "source": source_fingerprint(),
+                    "cost_model": cost_model_fingerprint(self.cost_model),
+                },
+            )
+        )
+        self.stats.add("engine.ledger.writes")
 
     def _emit(
         self,

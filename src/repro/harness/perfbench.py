@@ -33,6 +33,8 @@ from repro.harness.engine import (
     source_fingerprint,
 )
 from repro.harness.system import SimulatedSystem
+from repro.obs.events import EventRing, install_ring
+from repro.obs.tracing import Tracer, get_tracer, set_tracer
 from repro.workloads.registry import get_workload
 from repro.workloads.synth import generate_trace
 
@@ -61,6 +63,7 @@ def bench_replay(
     best-of-``repeats`` wall time of one full replay.
     """
     results: Dict[str, Dict[str, Any]] = {}
+    tracer = get_tracer()
     for name in workloads:
         spec = dataclasses.replace(
             get_workload(name).resolved(), num_allocs=num_allocs
@@ -70,13 +73,17 @@ def bench_replay(
         events = len(trace.events)
         for memento in (False, True):
             best = float("inf")
-            for _ in range(max(1, repeats)):
-                system = SimulatedSystem(spec, memento=memento)
-                started = time.perf_counter()
-                system.run(trace)
-                elapsed = time.perf_counter() - started
-                if elapsed < best:
-                    best = elapsed
+            with tracer.span(
+                "bench.replay", workload=name,
+                stack="memento" if memento else "baseline",
+            ):
+                for _ in range(max(1, repeats)):
+                    system = SimulatedSystem(spec, memento=memento)
+                    started = time.perf_counter()
+                    system.run(trace)
+                    elapsed = time.perf_counter() - started
+                    if elapsed < best:
+                        best = elapsed
             key = f"{name}/{'memento' if memento else 'baseline'}"
             results[key] = {
                 "workload": name,
@@ -128,6 +135,61 @@ def bench_engine_cache(
     }
 
 
+def bench_obs_overhead(
+    workload: str = "html",
+    num_allocs: int = 4000,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """A/B the observability subsystem's replay cost.
+
+    Times the same packed trace with tracing/sampling disabled (the null
+    tracer, no event ring — the default production path) and enabled (a
+    live :class:`Tracer` plus an :class:`EventRing`), best-of-``repeats``
+    each. ``overhead_ratio`` is enabled/disabled wall time; the disabled
+    side is the number the ≤5%-overhead acceptance gate watches via the
+    regular replay keys.
+    """
+    spec = dataclasses.replace(
+        get_workload(workload).resolved(), num_allocs=num_allocs
+    )
+    trace = generate_trace(spec)
+    trace.columnar()
+
+    def best_of(tracer, ring) -> float:
+        best = float("inf")
+        previous_tracer = set_tracer(tracer)
+        previous_ring = install_ring(ring)
+        try:
+            for _ in range(max(1, repeats)):
+                if tracer is not None:
+                    tracer.clear()
+                if ring is not None:
+                    ring.clear()
+                # Constructed inside the install window: systems bind the
+                # ring at construction time.
+                system = SimulatedSystem(spec, memento=True)
+                started = time.perf_counter()
+                system.run(trace)
+                elapsed = time.perf_counter() - started
+                if elapsed < best:
+                    best = elapsed
+        finally:
+            set_tracer(previous_tracer)
+            install_ring(previous_ring)
+        return best
+
+    disabled = best_of(None, None)
+    enabled = best_of(Tracer(), EventRing())
+    return {
+        "workload": workload,
+        "num_allocs": num_allocs,
+        "repeats": repeats,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": enabled / disabled,
+    }
+
+
 def compare(
     current: Dict[str, Dict[str, Any]],
     reference: Dict[str, Dict[str, Any]],
@@ -174,6 +236,7 @@ def run_bench(
     }
     if not smoke:
         payload["engine_cache"] = bench_engine_cache()
+        payload["obs_overhead"] = bench_obs_overhead()
     if compare_path is not None:
         reference = json.loads(Path(compare_path).read_text())
         ref_replay = reference.get("replay", reference)

@@ -15,6 +15,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.allocators import ALLOCATOR_BY_LANGUAGE
 from repro.allocators.jemalloc import JemallocAllocator
+from repro.obs.tracing import get_tracer
 from repro.core.bypass import COUNTER_MAX
 from repro.core.config import MementoConfig
 from repro.core.page_allocator import HardwarePageAllocator
@@ -491,33 +492,52 @@ class SimulatedSystem:
     # -- replay ------------------------------------------------------------------
 
     def run(self, trace: Optional[Trace] = None) -> RunResult:
-        """Replay ``trace`` (generated from the spec when omitted)."""
+        """Replay ``trace`` (generated from the spec when omitted).
+
+        Each phase — trace load, columnar pack (inside ``columnar()``),
+        replay, stats fold — runs under a tracer span; with the default
+        null tracer every span is one shared no-op context manager, so
+        the instrumented path is indistinguishable from the bare one.
+        """
         import gc
 
-        trace = trace or generate_trace(self.spec)
-        if self.cold_start:
-            self._run_cold_start(trace)
-        packer = getattr(trace, "columnar", None)
-        columnar = packer() if packer is not None else None
-        # The replay churns through dataclass records and OrderedDict
-        # nodes fast enough to trip the cyclic collector thousands of
-        # times per run; nothing in the simulator creates cycles mid-run,
-        # so the pauses buy no memory back. Suspend collection for the
-        # replay only (restoring the caller's setting on every exit path).
-        gc_was_enabled = gc.isenabled()
-        if gc_was_enabled:
-            gc.disable()
-        try:
-            if columnar is not None:
-                allocs, frees = self._replay_columnar(columnar)
-            else:
-                allocs, frees = self._replay_events(trace)
-        finally:
+        tracer = get_tracer()
+        with tracer.span(
+            "system.run",
+            workload=self.spec.name,
+            stack="memento" if self.memento else "baseline",
+        ) as run_span:
+            if trace is None:
+                with tracer.span("trace.load", workload=self.spec.name):
+                    trace = generate_trace(self.spec)
+            if self.cold_start:
+                self._run_cold_start(trace)
+            packer = getattr(trace, "columnar", None)
+            columnar = packer() if packer is not None else None
+            # The replay churns through dataclass records and OrderedDict
+            # nodes fast enough to trip the cyclic collector thousands of
+            # times per run; nothing in the simulator creates cycles
+            # mid-run, so the pauses buy no memory back. Suspend
+            # collection for the replay only (restoring the caller's
+            # setting on every exit path).
+            gc_was_enabled = gc.isenabled()
             if gc_was_enabled:
-                gc.enable()
-        if trace.category == "function":
-            self._function_exit()
-        return self._collect(trace, allocs, frees)
+                gc.disable()
+            try:
+                with tracer.span("replay", events=len(trace)):
+                    if columnar is not None:
+                        allocs, frees = self._replay_columnar(columnar)
+                    else:
+                        allocs, frees = self._replay_events(trace)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            if trace.category == "function":
+                self._function_exit()
+            with tracer.span("stats.fold"):
+                result = self._collect(trace, allocs, frees)
+            run_span.set("total_cycles", result.total_cycles)
+        return result
 
     def _replay_columnar(self, columnar) -> "tuple[int, int]":
         """Drive the packed trace form: integer kind tags and operand

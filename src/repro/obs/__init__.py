@@ -1,0 +1,77 @@
+"""Observability: span tracing, metrics export, event ring, run ledger.
+
+The subsystem has four small parts, all off by default and woven through
+the harness so enabling them costs one CLI flag (``repro run --trace
+--metrics out.prom``) rather than code changes:
+
+* :mod:`repro.obs.tracing` — nested wall-clock spans over a run's
+  phases, with a shared no-op null tracer when disabled.
+* :mod:`repro.obs.metrics` — Stats snapshots and span trees serialized
+  to Prometheus text and JSON-lines.
+* :mod:`repro.obs.events` — a sampled, bounded ring of hardware events
+  (HOT hits, AAC bumps, bypass instantiations, TLB shootdowns).
+* :mod:`repro.obs.ledger` — the append-only run ledger every engine
+  execution writes, plus the ``repro obs check`` regression gate.
+"""
+
+from repro.obs.events import EventRing, get_ring, install_ring
+from repro.obs.ledger import (
+    DEFAULT_THRESHOLD_PCT,
+    LEDGER_NAME,
+    RunLedger,
+    check_bench,
+    check_ledger_determinism,
+    counter_digest,
+    default_ledger_path,
+    manifest,
+)
+from repro.obs.metrics import (
+    event_record,
+    prometheus_lines,
+    read_jsonl,
+    render_prometheus,
+    run_record,
+    sanitize_metric_name,
+    span_record,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    render_span_tree,
+    set_tracer,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD_PCT",
+    "EventRing",
+    "LEDGER_NAME",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunLedger",
+    "Span",
+    "Tracer",
+    "check_bench",
+    "check_ledger_determinism",
+    "counter_digest",
+    "default_ledger_path",
+    "event_record",
+    "get_ring",
+    "get_tracer",
+    "install_ring",
+    "manifest",
+    "prometheus_lines",
+    "read_jsonl",
+    "render_prometheus",
+    "render_span_tree",
+    "run_record",
+    "sanitize_metric_name",
+    "set_tracer",
+    "span_record",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,176 @@
+"""The run ledger and the performance-regression gate.
+
+Every engine execution appends one manifest line to
+``.repro-cache/ledger.jsonl``: content key, source and cost-model
+fingerprints, workload/stack, wall time, simulated totals, and a digest
+of the full counter snapshot. The ledger is the flight recorder the
+result cache lacks — the cache holds only the *latest* artifact per key,
+while the ledger keeps the append-only history of what ran, when, from
+which source (live, disk, memo), and how long it took, so silent perf or
+correctness drift across PRs is visible after the fact.
+
+``repro obs check`` closes the loop: it compares a fresh
+``BENCH_*.json`` payload against the committed baseline and fails when
+any replay key regresses by more than the threshold (report-only in
+``--smoke`` mode, where CI timing noise drowns real signal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+SCHEMA_VERSION = 1
+
+#: Ledger file name inside the engine's cache directory.
+LEDGER_NAME = "ledger.jsonl"
+
+#: Default regression threshold (percent events/sec loss) for ``check``.
+DEFAULT_THRESHOLD_PCT = 10.0
+
+
+def default_ledger_path(cache_dir) -> Path:
+    return Path(cache_dir) / LEDGER_NAME
+
+
+def counter_digest(counters: Mapping[str, float]) -> str:
+    """Order-independent 16-hex digest of a counter snapshot.
+
+    Two runs with identical counters — the simulator is deterministic —
+    produce identical digests, so a digest mismatch between ledger lines
+    for the same content key is a correctness regression, not noise.
+    """
+    blob = json.dumps(
+        {str(k): counters[k] for k in sorted(counters)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def manifest(
+    key: str,
+    workload: str,
+    stack: str,
+    source: str,
+    elapsed_s: float,
+    result_summary: Mapping[str, Any],
+    fingerprints: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Assemble one ledger line for an engine execution."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "ts": time.time(),
+        "key": key,
+        "workload": workload,
+        "stack": stack,
+        "source": source,
+        "elapsed_s": elapsed_s,
+        "total_cycles": result_summary.get("total_cycles"),
+        "dram_bytes": result_summary.get("dram_bytes"),
+        "counter_digest": counter_digest(result_summary.get("stats", {})),
+        "fingerprints": dict(fingerprints or {}),
+    }
+
+
+class RunLedger:
+    """Append-only JSONL manifest log (one line per engine execution)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def append(self, entry: Mapping[str, Any]) -> None:
+        """Append one manifest line (creating parents on first write)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def read(self) -> List[Dict[str, Any]]:
+        """Every parseable manifest, oldest first (corrupt lines skipped)."""
+        entries: List[Dict[str, Any]] = []
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "key" in entry:
+                entries.append(entry)
+        return entries
+
+    def tail(self, count: int) -> List[Dict[str, Any]]:
+        return self.read()[-count:]
+
+    def digests_by_key(self) -> Dict[str, List[str]]:
+        """Distinct counter digests seen per content key, oldest first.
+
+        A key with more than one digest means two executions of the same
+        request disagreed — the determinism canary.
+        """
+        seen: Dict[str, List[str]] = {}
+        for entry in self.read():
+            digest = entry.get("counter_digest")
+            if not digest:
+                continue
+            bucket = seen.setdefault(entry["key"], [])
+            if digest not in bucket:
+                bucket.append(digest)
+        return seen
+
+
+# -- the regression gate ------------------------------------------------------
+
+
+def check_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Dict[str, Any]:
+    """Compare two ``BENCH_*.json`` payloads key by key.
+
+    Returns ``{"ok": bool, "threshold_pct": ..., "rows": [...]}`` where a
+    row carries the per-key events/sec of both sides, the ratio, and
+    whether it breaches the threshold. Keys missing on either side are
+    reported but never fail the gate (workload sets may legitimately
+    differ between bench invocations).
+    """
+    cur_replay = current.get("replay", current)
+    base_replay = baseline.get("replay", baseline)
+    rows: List[Dict[str, Any]] = []
+    ok = True
+    for key in sorted(set(cur_replay) | set(base_replay)):
+        cur = cur_replay.get(key, {}).get("events_per_sec")
+        base = base_replay.get(key, {}).get("events_per_sec")
+        if not cur or not base:
+            rows.append(
+                {"key": key, "current": cur, "baseline": base,
+                 "ratio": None, "regressed": False}
+            )
+            continue
+        ratio = cur / base
+        regressed = ratio < 1.0 - threshold_pct / 100.0
+        ok = ok and not regressed
+        rows.append(
+            {"key": key, "current": cur, "baseline": base,
+             "ratio": ratio, "regressed": regressed}
+        )
+    return {"ok": ok, "threshold_pct": threshold_pct, "rows": rows}
+
+
+def check_ledger_determinism(ledger: RunLedger) -> Dict[str, Any]:
+    """Flag content keys whose ledger history shows >1 counter digest."""
+    conflicts = {
+        key: digests
+        for key, digests in ledger.digests_by_key().items()
+        if len(digests) > 1
+    }
+    return {"ok": not conflicts, "conflicts": conflicts}

@@ -21,6 +21,7 @@ import enum
 from collections import OrderedDict
 from typing import List, NamedTuple, Optional, Tuple
 
+from repro.obs import events as obs_events
 from repro.sim.params import CacheParams, LINE_SHIFT, LINE_SIZE, MachineParams
 from repro.sim.stats import ScopedStats, Stats
 
@@ -482,6 +483,19 @@ class CacheHierarchy:
                             v_set[victim_addr] = True
                 l1_set[line] = write
             return r_bypass
+
+        # Event-ring sampling is bound at construction: with no ring
+        # installed (the default) the un-wrapped closure above is
+        # returned, so the disabled path carries zero extra work.
+        ring = obs_events.RING
+        if ring is None:
+            return instantiate
+        record = ring.record
+        inner = instantiate
+
+        def instantiate(addr, write=True):
+            record("bypass.instantiate", addr)
+            return inner(addr, write)
 
         return instantiate
 

@@ -139,6 +139,30 @@ class Stats:
         self._flush()
         return dict(self._counters)
 
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-JSON representation (alias of :meth:`snapshot`),
+        matching the ``to_dict``/``from_dict`` round-trip convention of
+        ``RunResult`` and ``MementoConfig`` so ledger manifests and
+        metric exports share one serialization path."""
+        return self.snapshot()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "Stats":
+        """Inverse of :meth:`to_dict`; raises on non-numeric values or
+        non-string names so a corrupted payload fails loudly."""
+        if not isinstance(data, Mapping):
+            raise ValueError("Stats payload must be a mapping")
+        stats = cls()
+        for name, value in data.items():
+            if not isinstance(name, str) or isinstance(value, bool) or (
+                not isinstance(value, (int, float))
+            ):
+                raise ValueError(
+                    f"malformed Stats entry: {name!r}={value!r}"
+                )
+            stats._counters[name] = value
+        return stats
+
     def diff(self, earlier: Mapping[str, float]) -> Dict[str, float]:
         """Return counters minus an earlier :meth:`snapshot`."""
         self._flush()

@@ -25,6 +25,8 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple, Union
 
+from repro.obs.tracing import get_tracer
+
 
 @dataclass(frozen=True, slots=True)
 class Alloc:
@@ -204,7 +206,10 @@ class Trace:
         count changed). None when the trace holds non-canonical events."""
         cached = self._columnar
         if cached is None or cached[0] != len(self.events):
-            cached = (len(self.events), ColumnarTrace.pack(self.events))
+            with get_tracer().span(
+                "trace.pack", trace=self.name, events=len(self.events)
+            ):
+                cached = (len(self.events), ColumnarTrace.pack(self.events))
             self._columnar = cached
         return cached[1]
 

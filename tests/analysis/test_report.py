@@ -1,0 +1,105 @@
+"""Tests for the ASCII renderers in :mod:`repro.analysis.report`."""
+
+import pytest
+
+from repro.analysis.report import (
+    paper_vs_measured,
+    render_grouped,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_title_headers_and_rows(self):
+        out = render_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["beta", 2.0]],
+            title="things",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "things"
+        assert lines[1] == "=" * len("things")
+        assert "name" in lines[2] and "value" in lines[2]
+        assert set(lines[3]) == {"-"}
+        assert "alpha" in lines[4] and "1.500" in lines[4]
+        assert "beta" in lines[5] and "2.000" in lines[5]
+
+    def test_no_title_starts_with_header(self):
+        out = render_table(["a"], [["x"]])
+        assert out.splitlines()[0].strip() == "a"
+
+    def test_floatfmt_applies_to_floats_only(self):
+        out = render_table(["a", "b"], [[1.23456, 7]], floatfmt=".1f")
+        assert "1.2" in out and "1.23" not in out
+        assert "7" in out and "7.0" not in out
+
+    def test_empty_rows_still_renders_headers(self):
+        out = render_table(["only", "headers"], [])
+        assert "only" in out and "headers" in out
+
+    def test_columns_align(self):
+        out = render_table(
+            ["name", "v"], [["short", 1], ["much-longer-name", 2]]
+        )
+        data_lines = out.splitlines()[2:]
+        assert len({len(line) for line in data_lines}) == 1
+
+
+class TestRenderSeries:
+    def test_bars_scale_to_peak(self):
+        out = render_series(["a", "b"], [1.0, 2.0], bar_width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_value_format(self):
+        out = render_series(["x"], [0.5], title="Fig", value_fmt=".1f")
+        assert out.splitlines()[0] == "Fig"
+        assert "0.5" in out
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            render_series(["a", "b"], [1.0])
+
+    def test_all_zero_values_render_no_bars(self):
+        out = render_series(["a"], [0.0])
+        assert "#" not in out
+
+    def test_negative_values_use_magnitude(self):
+        out = render_series(["a", "b"], [-2.0, 1.0], bar_width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+
+class TestRenderGrouped:
+    def test_one_row_per_label_one_column_per_series(self):
+        out = render_grouped(
+            ["html", "aes"],
+            {"baseline": [1.0, 2.0], "memento": [3.0, 4.0]},
+            title="grouped",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "grouped"
+        header = lines[2]
+        assert "workload" in header
+        assert "baseline" in header and "memento" in header
+        assert "html" in lines[4] and "3.000" in lines[4]
+        assert "aes" in lines[5] and "4.000" in lines[5]
+
+    def test_value_fmt_forwarded(self):
+        out = render_grouped(["x"], {"s": [0.123456]}, value_fmt=".2f")
+        assert "0.12" in out and "0.123" not in out
+
+
+def test_paper_vs_measured_columns():
+    out = paper_vs_measured(
+        [["speedup", 1.62, 1.58]], title="Fig. 8"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Fig. 8"
+    assert "metric" in lines[2] and "paper" in lines[2]
+    assert "measured" in lines[2]
+    assert "speedup" in lines[4]
+    assert "1.620" in lines[4] and "1.580" in lines[4]

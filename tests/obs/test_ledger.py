@@ -1,0 +1,156 @@
+"""Tests for the run ledger and regression gate (:mod:`repro.obs.ledger`)."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    RunLedger,
+    check_bench,
+    check_ledger_determinism,
+    counter_digest,
+    default_ledger_path,
+    manifest,
+)
+
+
+class TestCounterDigest:
+    def test_order_independent(self):
+        assert counter_digest({"a": 1.0, "b": 2.0}) == counter_digest(
+            {"b": 2.0, "a": 1.0}
+        )
+
+    def test_value_sensitive(self):
+        assert counter_digest({"a": 1.0}) != counter_digest({"a": 2.0})
+
+    def test_format(self):
+        digest = counter_digest({})
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+
+def test_manifest_shape():
+    entry = manifest(
+        key="k1",
+        workload="html",
+        stack="memento",
+        source="live",
+        elapsed_s=1.25,
+        result_summary={
+            "total_cycles": 10.0,
+            "dram_bytes": 20.0,
+            "stats": {"c": 1.0},
+        },
+        fingerprints={"source": "abc"},
+    )
+    assert entry["schema"] == 1
+    assert entry["key"] == "k1"
+    assert entry["workload"] == "html"
+    assert entry["source"] == "live"
+    assert entry["elapsed_s"] == 1.25
+    assert entry["total_cycles"] == 10.0
+    assert entry["counter_digest"] == counter_digest({"c": 1.0})
+    assert entry["fingerprints"] == {"source": "abc"}
+    assert entry["ts"] > 0
+
+
+class TestRunLedger:
+    def entry(self, key="k", digest="d1"):
+        return {"key": key, "counter_digest": digest}
+
+    def test_append_creates_parents_and_read_round_trips(self, tmp_path):
+        ledger = RunLedger(tmp_path / "deep" / "ledger.jsonl")
+        ledger.append(self.entry("a"))
+        ledger.append(self.entry("b"))
+        assert [e["key"] for e in ledger.read()] == ["a", "b"]
+
+    def test_read_missing_file(self, tmp_path):
+        assert RunLedger(tmp_path / "nope.jsonl").read() == []
+
+    def test_read_skips_corrupt_and_keyless_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            json.dumps(self.entry("good")) + "\n"
+            + "garbage\n"
+            + json.dumps({"no_key": True}) + "\n"
+        )
+        assert [e["key"] for e in RunLedger(path).read()] == ["good"]
+
+    def test_tail(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        for i in range(5):
+            ledger.append(self.entry(f"k{i}"))
+        assert [e["key"] for e in ledger.tail(2)] == ["k3", "k4"]
+
+    def test_digests_by_key_deduplicates(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append(self.entry("k", "d1"))
+        ledger.append(self.entry("k", "d1"))
+        ledger.append(self.entry("k", "d2"))
+        ledger.append(self.entry("other", "d9"))
+        assert ledger.digests_by_key() == {
+            "k": ["d1", "d2"], "other": ["d9"]
+        }
+
+
+class TestCheckBench:
+    def payload(self, **keys):
+        return {
+            "replay": {
+                key: {"events_per_sec": value} for key, value in keys.items()
+            }
+        }
+
+    def test_within_threshold_ok(self):
+        verdict = check_bench(
+            self.payload(a=95.0), self.payload(a=100.0), threshold_pct=10
+        )
+        assert verdict["ok"]
+        (row,) = verdict["rows"]
+        assert row["ratio"] == pytest.approx(0.95)
+        assert not row["regressed"]
+
+    def test_breach_fails(self):
+        verdict = check_bench(
+            self.payload(a=80.0), self.payload(a=100.0), threshold_pct=10
+        )
+        assert not verdict["ok"]
+        assert verdict["rows"][0]["regressed"]
+
+    def test_improvement_never_fails(self):
+        verdict = check_bench(
+            self.payload(a=500.0), self.payload(a=100.0), threshold_pct=10
+        )
+        assert verdict["ok"]
+
+    def test_missing_keys_reported_not_failed(self):
+        verdict = check_bench(
+            self.payload(new=100.0), self.payload(old=100.0)
+        )
+        assert verdict["ok"]
+        assert {row["key"] for row in verdict["rows"]} == {"new", "old"}
+        assert all(row["ratio"] is None for row in verdict["rows"])
+
+    def test_accepts_bare_replay_mapping(self):
+        # A payload without the {"replay": ...} wrapper works too.
+        verdict = check_bench(
+            {"a": {"events_per_sec": 50.0}},
+            {"a": {"events_per_sec": 100.0}},
+        )
+        assert not verdict["ok"]
+
+
+def test_check_ledger_determinism(tmp_path):
+    ledger = RunLedger(default_ledger_path(tmp_path))
+    ledger.append({"key": "stable", "counter_digest": "d1"})
+    ledger.append({"key": "stable", "counter_digest": "d1"})
+    assert check_ledger_determinism(ledger) == {"ok": True, "conflicts": {}}
+    ledger.append({"key": "stable", "counter_digest": "d2"})
+    verdict = check_ledger_determinism(ledger)
+    assert not verdict["ok"]
+    assert verdict["conflicts"] == {"stable": ["d1", "d2"]}
+
+
+def test_default_ledger_path(tmp_path):
+    assert default_ledger_path(tmp_path).name == "ledger.jsonl"
+    assert default_ledger_path(str(tmp_path)).parent == tmp_path

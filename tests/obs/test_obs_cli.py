@@ -1,0 +1,331 @@
+"""Integration tests: engine ledger, traced runs, the ``repro obs`` CLI,
+and the ``repro.api`` facade."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.harness.engine import ExperimentEngine, RunRequest
+from repro.obs import (
+    EventRing,
+    RunLedger,
+    Tracer,
+    default_ledger_path,
+    get_tracer,
+    install_ring,
+    set_tracer,
+)
+from repro.workloads.registry import get_workload
+
+
+def small_spec(name="html", num_allocs=1_500):
+    return replace(get_workload(name).resolved(), num_allocs=num_allocs)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_globals():
+    previous_tracer = get_tracer()
+    previous_ring = install_ring(None)
+    yield
+    set_tracer(previous_tracer)
+    install_ring(previous_ring)
+
+
+@pytest.fixture
+def small_cli_workloads(monkeypatch):
+    import repro.cli as cli
+
+    original = cli.get_workload
+    monkeypatch.setattr(
+        cli, "get_workload",
+        lambda name: replace(original(name), num_allocs=1_500),
+    )
+
+
+# -- engine ledger integration ------------------------------------------------
+
+
+class TestEngineLedger:
+    def test_every_execution_appends_a_manifest(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path, use_disk_cache=True)
+        request = RunRequest(spec=small_spec(), memento=True)
+        engine.run(request)  # live
+        engine.run(request)  # memo hit
+        entries = RunLedger(default_ledger_path(tmp_path)).read()
+        assert [e["source"] for e in entries] == ["live", "memo"]
+        live, memo = entries
+        assert live["key"] == memo["key"]
+        # The determinism canary: identical requests, identical digests.
+        assert live["counter_digest"] == memo["counter_digest"]
+        assert live["workload"] == "html"
+        assert live["elapsed_s"] > 0 and memo["elapsed_s"] == 0.0
+        assert set(live["fingerprints"]) == {"source", "cost_model"}
+        assert engine.summary().get("engine.ledger.writes") == 2
+
+    def test_disk_hit_recorded_as_cache_source(self, tmp_path):
+        request = RunRequest(spec=small_spec(), memento=False)
+        ExperimentEngine(cache_dir=tmp_path, use_disk_cache=True).run(request)
+        ExperimentEngine(cache_dir=tmp_path, use_disk_cache=True).run(request)
+        sources = [
+            e["source"]
+            for e in RunLedger(default_ledger_path(tmp_path)).read()
+        ]
+        assert sources == ["live", "cache"]
+
+    def test_use_ledger_false_writes_nothing(self, tmp_path):
+        engine = ExperimentEngine(
+            cache_dir=tmp_path, use_disk_cache=True, use_ledger=False
+        )
+        engine.run(RunRequest(spec=small_spec(), memento=False))
+        assert not default_ledger_path(tmp_path).exists()
+
+    def test_repro_no_ledger_env_opts_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+        engine = ExperimentEngine(cache_dir=tmp_path, use_disk_cache=True)
+        assert engine.ledger is None
+
+
+# -- span integration ---------------------------------------------------------
+
+
+def test_system_run_produces_phase_spans(tmp_path):
+    tracer = Tracer()
+    set_tracer(tracer)
+    engine = ExperimentEngine(cache_dir=tmp_path, use_disk_cache=True)
+    engine.run(RunRequest(spec=small_spec(), memento=True))
+    set_tracer(None)
+    (batch,) = tracer.roots
+    assert batch.name == "engine.run_many"
+    names = [c.name for c in batch.children]
+    assert names[0] == "cache.lookup"
+    assert "execute" in names
+    execute = batch.children[names.index("execute")]
+    run_spans = [c for c in execute.children if c.name == "system.run"]
+    assert run_spans, "system.run should nest under execute"
+    phases = [c.name for c in run_spans[0].children]
+    assert phases == ["trace.load", "trace.pack", "replay", "stats.fold"]
+    assert "total_cycles" in run_spans[0].attrs
+    assert any(c.name == "cache.admit" for c in execute.children)
+
+
+def test_cached_run_skips_execute_span(tmp_path):
+    engine = ExperimentEngine(cache_dir=tmp_path, use_disk_cache=True)
+    request = RunRequest(spec=small_spec(), memento=False)
+    engine.run(request)
+    tracer = Tracer()
+    set_tracer(tracer)
+    engine.run(request)
+    set_tracer(None)
+    (batch,) = tracer.roots
+    assert [c.name for c in batch.children] == ["cache.lookup"]
+
+
+# -- repro run --trace --metrics ---------------------------------------------
+
+
+def test_run_trace_and_metrics_end_to_end(
+    tmp_path, capsys, small_cli_workloads
+):
+    prom = tmp_path / "out.prom"
+    assert main([
+        "run", "--workload", "html",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--trace", "--metrics", str(prom),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Span tree" in out
+    assert "engine.run_many" in out and "replay" in out
+
+    text = prom.read_text()
+    assert "# TYPE" in text
+    assert 'workload="html"' in text
+    assert 'stack="baseline"' in text and 'stack="memento"' in text
+
+    records = [
+        json.loads(line)
+        for line in (tmp_path / "out.prom.jsonl").read_text().splitlines()
+    ]
+    kinds = [r["kind"] for r in records]
+    assert kinds.count("run") == 3  # baseline, memento, memento_nobypass
+    assert "spans" in kinds and "events" in kinds
+    stacks = {r["stack"] for r in records if r["kind"] == "run"}
+    assert stacks == {"baseline", "memento", "memento_nobypass"}
+    (events,) = [r for r in records if r["kind"] == "events"]
+    assert events["counts"].get("hot.alloc_hit", 0) > 0
+
+    # The CLI restored the globals on exit.
+    from repro.obs.tracing import NULL_TRACER
+    from repro.obs.events import get_ring
+
+    assert get_tracer() is NULL_TRACER and get_ring() is None
+
+
+def test_run_positional_and_flag_workloads_combine(
+    tmp_path, capsys, small_cli_workloads
+):
+    assert main([
+        "run", "aes", "--workload", "html",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "aes" in out and "html" in out
+
+
+# -- repro obs ----------------------------------------------------------------
+
+
+class TestObsCli:
+    def run_once(self, tmp_path, extra=()):
+        return main([
+            "run", "--workload", "html",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ])
+
+    def test_report_renders_ledger_and_metrics(
+        self, tmp_path, capsys, small_cli_workloads
+    ):
+        prom = tmp_path / "m.prom"
+        assert self.run_once(
+            tmp_path, ["--trace", "--metrics", str(prom)]
+        ) == 0
+        capsys.readouterr()
+        assert main([
+            "obs", "report",
+            "--ledger", str(tmp_path / "cache" / "ledger.jsonl"),
+            "--metrics", str(tmp_path / "m.prom.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger" in out
+        assert "metric runs" in out
+        assert "Span tree" in out
+        assert "sampled hardware events" in out
+
+    def test_report_empty_everything(self, tmp_path, capsys):
+        assert main([
+            "obs", "report", "--ledger", str(tmp_path / "absent.jsonl"),
+        ]) == 0
+        assert "nothing to report" in capsys.readouterr().out
+
+    def bench_payload(self, tmp_path, name, events_per_sec):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "replay": {
+                "html/baseline": {"events_per_sec": events_per_sec},
+            },
+        }))
+        return path
+
+    def test_check_passes_within_threshold(self, tmp_path, capsys):
+        base = self.bench_payload(tmp_path, "base.json", 100.0)
+        cur = self.bench_payload(tmp_path, "cur.json", 95.0)
+        assert main([
+            "obs", "check", "--bench", str(cur),
+            "--baseline", str(base), "--threshold", "10",
+            "--ledger", str(tmp_path / "no-ledger.jsonl"),
+        ]) == 0
+        assert "obs check: ok" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        base = self.bench_payload(tmp_path, "base.json", 100.0)
+        cur = self.bench_payload(tmp_path, "cur.json", 50.0)
+        assert main([
+            "obs", "check", "--bench", str(cur),
+            "--baseline", str(base), "--threshold", "10",
+            "--ledger", str(tmp_path / "no-ledger.jsonl"),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "obs check: FAILED" in captured.err
+
+    def test_check_smoke_is_report_only(self, tmp_path, capsys):
+        base = self.bench_payload(tmp_path, "base.json", 100.0)
+        cur = self.bench_payload(tmp_path, "cur.json", 50.0)
+        assert main([
+            "obs", "check", "--bench", str(cur),
+            "--baseline", str(base), "--smoke",
+            "--ledger", str(tmp_path / "no-ledger.jsonl"),
+        ]) == 0
+        assert "report-only" in capsys.readouterr().out
+
+    def test_check_flags_nondeterministic_ledger(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append({"key": "k", "counter_digest": "d1"})
+        ledger.append({"key": "k", "counter_digest": "d2"})
+        assert main([
+            "obs", "check", "--ledger", str(ledger.path),
+        ]) == 1
+        assert "1 conflicting" in capsys.readouterr().out
+
+    def test_check_without_inputs_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "obs", "check", "--ledger", str(tmp_path / "absent.jsonl"),
+        ]) == 2
+
+    def test_diff_bench_payloads(self, tmp_path, capsys):
+        old = self.bench_payload(tmp_path, "old.json", 100.0)
+        new = self.bench_payload(tmp_path, "new.json", 120.0)
+        assert main(["obs", "diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "html/baseline" in out and "1.200x" in out
+
+    def test_diff_metrics_jsonl(self, tmp_path, capsys):
+        record = {
+            "kind": "run", "workload": "html", "stack": "memento",
+            "total_cycles": 100.0, "counters": {"c": 1.0},
+        }
+        old = tmp_path / "old.jsonl"
+        new = tmp_path / "new.jsonl"
+        old.write_text(json.dumps(record) + "\n")
+        new.write_text(
+            json.dumps({**record, "total_cycles": 110.0}) + "\n"
+        )
+        assert main(["obs", "diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "+10.00%" in out
+
+    def test_diff_mixed_kinds_is_usage_error(self, tmp_path, capsys):
+        bench = self.bench_payload(tmp_path, "b.json", 1.0)
+        jsonl = tmp_path / "m.jsonl"
+        jsonl.write_text('{"kind": "run"}\n')
+        assert main(["obs", "diff", str(bench), str(jsonl)]) == 2
+
+
+# -- the repro.api facade -----------------------------------------------------
+
+
+class TestApiFacade:
+    def test_every_exported_name_resolves(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_facade_covers_the_documented_surface(self):
+        import repro.api as api
+
+        for name in (
+            "RunRequest", "ExperimentEngine", "run_workload", "run_all",
+            "Tracer", "set_tracer", "get_tracer", "render_span_tree",
+            "MementoConfig", "MachineParams", "Stats", "EventRing",
+            "RunResult", "WorkloadResult", "get_workload", "all_workloads",
+        ):
+            assert name in api.__all__, name
+
+    def test_traced_run_through_the_facade(self, tmp_path):
+        from repro import api
+
+        tracer = api.Tracer()
+        api.set_tracer(tracer)
+        try:
+            engine = api.ExperimentEngine(
+                cache_dir=tmp_path, use_disk_cache=True
+            )
+            result = api.run_workload(small_spec(), engine=engine)
+        finally:
+            api.set_tracer(None)
+        assert result.speedup > 1.0
+        assert tracer.roots
+        rendered = api.render_span_tree(tracer.to_dict())
+        assert "engine.run_many" in rendered

@@ -149,3 +149,29 @@ def test_clear_resets_pending_cells():
     assert cell.pending == 0
     cell.pending += 1
     assert stats["x"] == 1
+
+
+def test_to_dict_round_trip():
+    stats = Stats()
+    stats.add("l1d.hits", 3)
+    stats.counter("hot.allocs").pending += 2
+    payload = stats.to_dict()
+    assert payload == {"l1d.hits": 3, "hot.allocs": 2}
+    restored = Stats.from_dict(payload)
+    assert restored.snapshot() == payload
+    # The restored instance is live, not a frozen view.
+    restored.add("l1d.hits")
+    assert restored["l1d.hits"] == 4
+
+
+def test_from_dict_rejects_malformed_payloads():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Stats.from_dict([("a", 1)])
+    with pytest.raises(ValueError):
+        Stats.from_dict({1: 2.0})
+    with pytest.raises(ValueError):
+        Stats.from_dict({"a": "fast"})
+    with pytest.raises(ValueError):
+        Stats.from_dict({"a": True})

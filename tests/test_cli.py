@@ -27,9 +27,13 @@ def test_run_single_workload(capsys, monkeypatch):
     assert "aes" in out and "speedup" in out
 
 
-def test_run_unknown_workload_raises():
-    with pytest.raises(KeyError):
-        main(["run", "not-a-workload"])
+def test_run_unknown_workload_reports_error(capsys):
+    # Operational errors follow the shared convention: exit code 1 and a
+    # one-line ``repro: error: ...`` report on stderr, not a traceback.
+    assert main(["run", "not-a-workload"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "not-a-workload" in err
 
 
 def test_run_requires_names_or_all(capsys):
