@@ -13,7 +13,7 @@ import os
 
 import pytest
 
-from repro.harness.engine import get_default_engine
+from repro.harness.engine import get_default_engine, resolve_jobs
 from repro.harness.experiment import run_all
 from repro.workloads.registry import (
     DATAPROC_WORKLOADS,
@@ -25,7 +25,7 @@ from repro.workloads.synth import generate_trace
 
 def _jobs() -> int:
     """Worker processes for the evaluation batch (``REPRO_JOBS``)."""
-    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    return resolve_jobs(os.environ.get("REPRO_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")

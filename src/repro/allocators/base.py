@@ -12,6 +12,7 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
+from repro.obs import profile as obs_profile
 from repro.sim.params import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -122,6 +123,26 @@ class SoftwareAllocator(abc.ABC):
             type(self)._charge_alloc is SoftwareAllocator._charge_alloc
             and type(self)._charge_free is SoftwareAllocator._charge_free
         )
+        # Cycle-attribution cells for the charge hooks (obs/profile.py).
+        # The fast paths the subclasses inline into replay closures bypass
+        # these hooks on purpose; their cycles surface as the
+        # user_alloc/user_free category residual, which the profiler folds
+        # into swalloc.alloc_fast/swalloc.free_fast at reconciliation.
+        profile = obs_profile.PROFILE
+        if profile is None:
+            self._p_alloc_fast = None
+            self._p_alloc_slow = None
+            self._p_free_fast = None
+            self._p_free_slow = None
+            self._h_alloc = None
+            self._h_free = None
+        else:
+            self._p_alloc_fast = profile.cell("swalloc.alloc_fast")
+            self._p_alloc_slow = profile.cell("swalloc.alloc_slow")
+            self._p_free_fast = profile.cell("swalloc.free_fast")
+            self._p_free_slow = profile.cell("swalloc.free_slow")
+            self._h_alloc = profile.hist("op.alloc")
+            self._h_free = profile.hist("op.free")
         self.live: Dict[int, Allocation] = {}
         from repro.allocators.glibc_large import LargeAllocator
 
@@ -241,6 +262,9 @@ class SoftwareAllocator(abc.ABC):
         core.cycles += cycles
         self._ua_cycles.pending += cycles
         (self._alloc_fast if fast else self._alloc_slow).pending += 1
+        if self._p_alloc_fast is not None:
+            (self._p_alloc_fast if fast else self._p_alloc_slow).add(cycles)
+            self._h_alloc.record(cycles)
         if not fast:
             # Slow paths run cold allocator code and walk metadata that
             # rarely stays cached across their long reuse distance.
@@ -250,6 +274,9 @@ class SoftwareAllocator(abc.ABC):
         core.cycles += cycles
         self._uf_cycles.pending += cycles
         (self._free_fast if fast else self._free_slow).pending += 1
+        if self._p_free_fast is not None:
+            (self._p_free_fast if fast else self._p_free_slow).add(cycles)
+            self._h_free.record(cycles)
         if not fast:
             self.machine.dram.record_bulk_bytes(256, write=False)
 

@@ -41,16 +41,28 @@ from repro.harness.experiment import (
 )
 from repro.harness.system import RunResult, SimulatedSystem
 from repro.obs import (
+    CycleProfile,
     EventRing,
+    Log2Histogram,
     NullTracer,
     RunLedger,
     Tracer,
+    check_trend,
     default_ledger_path,
+    export_timeline,
+    get_profile,
     get_ring,
     get_tracer,
+    install_profile,
     install_ring,
+    render_profile,
     render_span_tree,
+    render_top_consumers,
+    render_trend,
     set_tracer,
+    trace_events,
+    trend_by_key,
+    validate_trace_events,
 )
 from repro.sim.params import MachineParams
 from repro.sim.stats import Stats
@@ -76,16 +88,28 @@ __all__ = [
     "generate_trace",
     "get_workload",
     # observability
+    "CycleProfile",
     "EventRing",
+    "Log2Histogram",
     "NullTracer",
     "RunLedger",
     "Tracer",
+    "check_trend",
     "default_ledger_path",
+    "export_timeline",
+    "get_profile",
     "get_ring",
     "get_tracer",
+    "install_profile",
     "install_ring",
+    "render_profile",
     "render_span_tree",
+    "render_top_consumers",
+    "render_trend",
     "set_tracer",
+    "trace_events",
+    "trend_by_key",
+    "validate_trace_events",
     # provenance / stats
     "Stats",
     "cost_model_fingerprint",

@@ -8,7 +8,9 @@ Commands:
   the runs out over worker processes, and completed runs persist in the
   on-disk result cache (``.repro-cache/``) so re-invocations are warm.
   ``--trace`` prints the span tree; ``--metrics out.prom`` exports the
-  run's counters as Prometheus text plus a JSONL sidecar.
+  run's counters as Prometheus text plus a JSONL sidecar; ``--profile``
+  attributes every simulated cycle to its architectural component and
+  prints the Fig. 9-style breakdown (serial, cache-bypassing runs).
 * ``cache info|clear`` — inspect or empty the persistent result cache.
 * ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
 * ``sweep NAME`` — one sensitivity study (populate, multiprocess,
@@ -18,6 +20,9 @@ Commands:
 * ``obs report|diff|check`` — render the run ledger and exported
   metrics, diff two metric/bench files, or gate on a perf regression
   against the committed ``BENCH_*.json`` baseline.
+* ``obs profile|timeline|trend`` — render an exported cycle profile,
+  export spans + sampled events as Perfetto trace JSON, or analyze the
+  full ledger history for wall-time/digest drift.
 
 Conventions (shared by every handler): handlers take the parsed
 ``argparse.Namespace`` and return the process exit code — 0 on success,
@@ -55,21 +60,31 @@ from repro.harness.engine import (
 from repro.harness.experiment import run_all, run_workload
 from repro.harness import sweeps
 from repro.obs import (
+    CycleProfile,
     EventRing,
     RunLedger,
     Tracer,
     check_bench,
     check_ledger_determinism,
+    check_trend,
     default_ledger_path,
     event_record,
+    export_timeline,
+    histogram_lines,
+    install_profile,
     install_ring,
+    profile_record,
     read_jsonl,
+    render_histograms,
+    render_profile,
+    render_prometheus,
     render_span_tree,
+    render_top_consumers,
+    render_trend,
     run_record,
     set_tracer,
     span_record,
     write_jsonl,
-    write_prometheus,
 )
 from repro.workloads.registry import all_workloads, get_workload
 from repro.workloads.synth import generate_trace
@@ -135,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="export counters as Prometheus text at PATH and JSON-lines "
         "at PATH.jsonl",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute simulated cycles to architectural components and "
+        "print the breakdown (forces serial, cache-bypassing runs)",
     )
     run_parser.set_defaults(handler=cmd_run)
 
@@ -246,6 +266,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="report-only: never fail on timing (CI machines are noisy)",
     )
     check_parser.set_defaults(handler=cmd_obs_check)
+
+    profile_parser = obs_sub.add_parser(
+        "profile", help="render an exported cycle-attribution profile"
+    )
+    profile_parser.add_argument(
+        "metrics", metavar="METRICS_JSONL",
+        help="metrics JSONL written by `repro run --profile --metrics`",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the top-consumers view (default: 10)",
+    )
+    profile_parser.set_defaults(handler=cmd_obs_profile)
+
+    timeline_parser = obs_sub.add_parser(
+        "timeline", help="export spans + events as Perfetto trace JSON"
+    )
+    timeline_parser.add_argument(
+        "metrics", metavar="METRICS_JSONL",
+        help="metrics JSONL written by `repro run --trace --metrics`",
+    )
+    timeline_parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output trace path (default: trace.json)",
+    )
+    timeline_parser.set_defaults(handler=cmd_obs_timeline)
+
+    trend_parser = obs_sub.add_parser(
+        "trend", help="analyze ledger history for wall-time/digest drift"
+    )
+    trend_parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger file (default: <cache-dir>/ledger.jsonl)",
+    )
+    trend_parser.add_argument(
+        "--threshold", type=float, default=50.0, metavar="PCT",
+        help="min slowdown vs the key's median to flag (default: 50)",
+    )
+    trend_parser.add_argument(
+        "--report-only", action="store_true",
+        help="always exit 0 (CI visibility without gating)",
+    )
+    trend_parser.set_defaults(handler=cmd_obs_trend)
     return parser
 
 
@@ -301,7 +364,7 @@ def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     )
 
 
-def _export_metrics(path: str, results, tracer, ring) -> None:
+def _export_metrics(path: str, results, tracer, ring, profile=None) -> None:
     """Write the Prometheus text file and its JSONL sidecar."""
     snapshots = []
     records = []
@@ -321,8 +384,22 @@ def _export_metrics(path: str, results, tracer, ring) -> None:
         records.append(span_record(tracer.to_dict()))
     if ring is not None:
         records.append(event_record(ring.to_dict()))
+    text = render_prometheus(snapshots)
+    if profile is not None:
+        payload = profile.to_dict()
+        records.append(profile_record(payload))
+        seen: set = set()
+        hist_lines = []
+        for name in sorted(payload.get("histograms", {})):
+            hist_lines.extend(
+                histogram_lines(
+                    payload["histograms"][name], seen_types=seen
+                )
+            )
+        if hist_lines:
+            text += "\n".join(hist_lines) + "\n"
     out = Path(path)
-    write_prometheus(out, snapshots)
+    out.write_text(text, encoding="utf-8")
     write_jsonl(out.with_name(out.name + ".jsonl"), records)
     print(
         f"wrote {out} and {out.name}.jsonl "
@@ -335,13 +412,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = list(args.workloads) + list(args.named_workloads)
     if args.run_all == bool(names):
         return _usage_error("run: name workloads or pass --all (not both)")
-    tracer = ring = None
-    previous_tracer = previous_ring = None
+    tracer = ring = profile = None
+    previous_tracer = previous_ring = previous_profile = None
     if args.trace:
         tracer = Tracer()
-        ring = EventRing()
+        ring = EventRing(timestamps=True)
         previous_tracer = set_tracer(tracer)
         previous_ring = install_ring(ring)
+    if args.profile:
+        # Attribution happens in-process on live runs only: worker
+        # processes and cache hits produce no profile data, so profiled
+        # runs are forced serial and bypass the result cache.
+        if args.jobs > 1:
+            print(
+                "repro: --profile runs serially; ignoring --jobs",
+                file=sys.stderr,
+            )
+            args.jobs = 1
+        args.no_cache = True
+        profile = CycleProfile()
+        previous_profile = install_profile(profile)
     try:
         engine = _make_engine(args)
         specs = (
@@ -352,6 +442,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.trace:
             set_tracer(previous_tracer)
             install_ring(previous_ring)
+        if args.profile:
+            install_profile(previous_profile)
     pricing = PricingModel()
     rows = []
     for result in results:
@@ -377,8 +469,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("Span tree")
         print("=========")
         print(render_span_tree(tracer.to_dict()))
+    if profile is not None:
+        payload = profile.to_dict()
+        print()
+        print("Cycle attribution")
+        print("=================")
+        print(render_profile(payload))
+        print()
+        print(render_top_consumers(payload))
+        print()
+        print(render_histograms(payload))
     if args.metrics:
-        _export_metrics(args.metrics, results, tracer, ring)
+        _export_metrics(args.metrics, results, tracer, ring, profile)
     counters = engine.summary()
     hits = int(
         counters.get("engine.memo.hits", 0)
@@ -513,6 +615,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"enabled {obs['enabled_seconds'] * 1e3:.1f} ms "
             f"({(obs['overhead_ratio'] - 1) * 100:+.1f}%)"
         )
+    if "profile_overhead" in payload:
+        prof = payload["profile_overhead"]
+        print(
+            f"profile overhead: disabled "
+            f"{prof['disabled_seconds'] * 1e3:.1f} ms, "
+            f"enabled {prof['enabled_seconds'] * 1e3:.1f} ms "
+            f"({(prof['overhead_ratio'] - 1) * 100:+.1f}%)"
+        )
     if "comparison" in payload:
         for key, ratio in sorted(payload["comparison"]["speedup"].items()):
             print(f"  {key}: {ratio:.2f}x vs {payload['comparison']['reference']}")
@@ -532,7 +642,14 @@ def _ledger_at(path: Optional[str]) -> RunLedger:
 def cmd_obs_report(args: argparse.Namespace) -> int:
     ledger = _ledger_at(args.ledger)
     printed = False
-    entries = ledger.tail(args.last)
+    all_entries, skipped = ledger.read_classified()
+    if skipped:
+        print(
+            f"WARNING: skipped {skipped} ledger line(s) with an unknown "
+            "schema (written by a different repro version)",
+            file=sys.stderr,
+        )
+    entries = all_entries[-args.last:]
     if entries:
         rows = [
             [
@@ -550,7 +667,7 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
              "digest"],
             rows,
             title=f"run ledger: last {len(entries)} of "
-            f"{len(ledger.read())} ({ledger.path})",
+            f"{len(all_entries)} ({ledger.path})",
         ))
         determinism = check_ledger_determinism(ledger)
         if determinism["conflicts"]:
@@ -750,6 +867,62 @@ def cmd_obs_check(args: argparse.Namespace) -> int:
         return 1
     print("obs check: ok")
     return 0
+
+
+def cmd_obs_profile(args: argparse.Namespace) -> int:
+    records = read_jsonl(Path(args.metrics))
+    profiles = [r for r in records if r.get("kind") == "profile"]
+    if not profiles:
+        raise ValueError(
+            f"obs profile: no profile records in {args.metrics} "
+            "(export one with `repro run --profile --metrics PATH`)"
+        )
+    for payload in profiles:
+        print("Cycle attribution")
+        print("=================")
+        print(render_profile(payload))
+        print()
+        print(render_top_consumers(payload, top=args.top))
+        if payload.get("histograms"):
+            print()
+            print(render_histograms(payload))
+    return 0
+
+
+def cmd_obs_timeline(args: argparse.Namespace) -> int:
+    records = read_jsonl(Path(args.metrics))
+    relevant = [r for r in records if r.get("kind") in ("spans", "events")]
+    if not relevant:
+        raise ValueError(
+            f"obs timeline: no span or event records in {args.metrics} "
+            "(export them with `repro run --trace --metrics PATH`)"
+        )
+    out = export_timeline(Path(args.out), relevant)
+    import json
+
+    events = json.loads(out.read_text(encoding="utf-8"))["traceEvents"]
+    print(
+        f"wrote {out} ({len(events)} trace events) — open at "
+        "https://ui.perfetto.dev or chrome://tracing"
+    )
+    return 0
+
+
+def cmd_obs_trend(args: argparse.Namespace) -> int:
+    ledger = _ledger_at(args.ledger)
+    report = check_trend(ledger, threshold_pct=args.threshold)
+    if not report["entries"]:
+        print(f"obs trend: ledger has no entries ({ledger.path})")
+        return 0
+    print(render_trend(report))
+    if report["ok"]:
+        print("obs trend: ok")
+        return 0
+    if args.report_only:
+        print("obs trend: drift found (report-only mode)")
+        return 0
+    print("obs trend: FAILED", file=sys.stderr)
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

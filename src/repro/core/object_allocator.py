@@ -19,6 +19,7 @@ from repro.core.hot import HardwareObjectTable
 from repro.core.lists import ArenaList
 from repro.core.region import MementoRegion
 from repro.obs import events as obs_events
+from repro.obs import profile as obs_profile
 from repro.sim.params import LINE_SHIFT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -85,6 +86,23 @@ class HardwareObjectAllocator:
         #: Sampled hardware-event ring, bound at construction (None keeps
         #: the obj-alloc/obj-free fast paths to one attribute test each).
         self._ring = obs_events.RING
+        # Cycle-attribution cells, bound the same way: disabled costs one
+        # None test per obj-alloc/obj-free; the cells never charge cycles.
+        profile = obs_profile.PROFILE
+        if profile is None:
+            self._p_alloc_hit = None
+            self._p_alloc_miss = None
+            self._p_free_hit = None
+            self._p_free_miss = None
+            self._h_alloc = None
+            self._h_free = None
+        else:
+            self._p_alloc_hit = profile.cell("hot.alloc_hit")
+            self._p_alloc_miss = profile.cell("hot.alloc_miss")
+            self._p_free_hit = profile.cell("hot.free_hit")
+            self._p_free_miss = profile.cell("hot.free_miss")
+            self._h_alloc = profile.hist("op.alloc")
+            self._h_free = profile.hist("op.free")
 
     # -- obj-alloc (Fig. 6 steps 5-9) ----------------------------------------
 
@@ -103,6 +121,8 @@ class HardwareObjectAllocator:
             self._hot_alloc_hits.pending += 1
             if self._ring is not None:
                 self._ring.record("hot.alloc_hit", size_class)
+            if self._p_alloc_hit is not None:
+                self._p_alloc_hit.add(cycles)
         else:
             miss_cycles = self._switch_arena(size_class)
             header = self._hot_entries[size_class].header
@@ -115,6 +135,8 @@ class HardwareObjectAllocator:
             self._hot_alloc_misses.pending += 1
             if self._ring is not None:
                 self._ring.record("hot.alloc_miss", size_class)
+            if self._p_alloc_miss is not None:
+                self._p_alloc_miss.add(cycles)
 
         # Priority-encoder scan + bitmap set, fused (find_free_slot +
         # set_slot; the arena is guaranteed non-full here).
@@ -129,6 +151,8 @@ class HardwareObjectAllocator:
         core.cycles += cycles
         self._hw_alloc_cell.pending += cycles
         self._allocs_cell.pending += 1
+        if self._h_alloc is not None:
+            self._h_alloc.record(cycles)
         return (
             header.va
             + HEADER_BYTES
@@ -228,6 +252,8 @@ class HardwareObjectAllocator:
                     f"{index})"
                 )
             header.bitmap &= ~mask
+            if self._p_free_hit is not None:
+                self._p_free_hit.add(cycles)
         else:
             self._hot_free_misses.pending += 1
             if self._ring is not None:
@@ -262,9 +288,13 @@ class HardwareObjectAllocator:
                 ].push_head(header)
             if header.is_empty:
                 cycles += self._release_empty_arena(header)
+            if self._p_free_miss is not None:
+                self._p_free_miss.add(cycles)
         core.cycles += cycles
         self._hw_free_cell.pending += cycles
         self._frees_cell.pending += 1
+        if self._h_free is not None:
+            self._h_free.record(cycles)
 
     def _clear_checked(self, header: ArenaHeader, addr: int) -> None:
         index = header.object_index(addr, self.config)

@@ -30,6 +30,7 @@ from repro.core.region import MementoRegion
 from repro.kernel.buddy import OutOfMemoryError
 from repro.kernel.page_table import PageTable
 from repro.obs import events as obs_events
+from repro.obs import profile as obs_profile
 from repro.sim.params import PAGE_SHIFT, PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -155,6 +156,27 @@ class HardwarePageAllocator:
         self._states: Dict[int, ProcessPageState] = {}
         #: Sampled hardware-event ring, bound at construction.
         self._ring = obs_events.RING
+        # Cycle-attribution cells (see obs/profile.py): bound here so the
+        # disabled path pays one None test per method-level operation.
+        profile = obs_profile.PROFILE
+        if profile is None:
+            self._p_aac_hit = None
+            self._p_aac_miss = None
+            self._p_page_fill = None
+            self._p_arena_free = None
+            self._p_shootdown = None
+            self._p_replenish = None
+            self._p_walk = None
+            self._h_walk = None
+        else:
+            self._p_aac_hit = profile.cell("aac.hit")
+            self._p_aac_miss = profile.cell("aac.miss")
+            self._p_page_fill = profile.cell("hw_page.fill")
+            self._p_arena_free = profile.cell("hw_page.arena_free")
+            self._p_shootdown = profile.cell("tlb.shootdown")
+            self._p_replenish = profile.cell("kernel.pool_replenish")
+            self._p_walk = profile.cell("walk.page_walk")
+            self._h_walk = profile.hist("op.page_walk")
 
     # -- process attach/detach ---------------------------------------------
 
@@ -196,10 +218,10 @@ class HardwarePageAllocator:
             raise PoolExhaustedError(str(exc)) from exc
         self.pool.extend(frames)
         self.machine.frames.charge("memento", pages)
-        core.charge(
-            costs.syscall_entry_exit + pages * costs.buddy_alloc // 8,
-            "kernel_page",
-        )
+        cycles = costs.syscall_entry_exit + pages * costs.buddy_alloc // 8
+        core.charge(cycles, "kernel_page")
+        if self._p_replenish is not None:
+            self._p_replenish.add(cycles)
         self.stats.add("replenishments")
         self.stats.add("pool_pages_granted", pages)
 
@@ -233,7 +255,10 @@ class HardwarePageAllocator:
         LLC, which is the mechanism's saving (§3.3)."""
         if self.config.bypass_enabled:
             return
-        core.charge(self.machine.costs.hw_page_fill // 2, "hw_page")
+        cycles = self.machine.costs.hw_page_fill // 2
+        core.charge(cycles, "hw_page")
+        if self._p_page_fill is not None:
+            self._p_page_fill.add(cycles)
         core.caches.zero_fill_page(pfn << 12)
         self.stats.add("hw_zeroed_pages")
 
@@ -254,11 +279,10 @@ class HardwarePageAllocator:
         """
         costs = self.machine.costs
         state = self.state_of(process)
-        cycles = (
-            costs.aac_hit
-            if self.aac.access(core.core_id, size_class)
-            else costs.aac_miss
-        )
+        aac_hit = self.aac.access(core.core_id, size_class)
+        cycles = costs.aac_hit if aac_hit else costs.aac_miss
+        if self._p_aac_hit is not None:
+            (self._p_aac_hit if aac_hit else self._p_aac_miss).add(cycles)
 
         key = (thread_id, size_class)
         recycled = state.free_spans.get(key)
@@ -280,6 +304,8 @@ class HardwarePageAllocator:
         self.machine.frames.move("memento", "user")
         self._zero_fill_leaf(core, header_pfn)
         cycles += costs.hw_page_fill
+        if self._p_page_fill is not None:
+            self._p_page_fill.add(costs.hw_page_fill)
         core.charge(cycles, "hw_page")
         self.stats.add("arenas_allocated")
         self.stats.add("arena_pages_mapped")
@@ -301,9 +327,14 @@ class HardwarePageAllocator:
         state = self.state_of(process)
         state.walker_cores.add(core.core_id)
         vpn = vaddr >> PAGE_SHIFT
+        walk_cycles = 0
         for node_pfn in state.page_table.walk_path(vpn):
             result = core.caches.access_line(node_pfn << 6)
             core.charge(result.cycles, "walk")
+            walk_cycles += result.cycles
+        if self._p_walk is not None:
+            self._p_walk.add(walk_cycles)
+            self._h_walk.record(walk_cycles)
         pfn = state.page_table.walk(vpn)
         if pfn is not None:
             self.stats.add("walks_mapped")
@@ -313,6 +344,8 @@ class HardwarePageAllocator:
         self.machine.frames.move("memento", "user")
         self._zero_fill_leaf(core, pfn)
         core.charge(costs.hw_page_fill, "hw_page")
+        if self._p_page_fill is not None:
+            self._p_page_fill.add(costs.hw_page_fill)
         self.stats.add("walks_filled")
         self.stats.add("arena_pages_mapped")
         return pfn
@@ -345,11 +378,14 @@ class HardwarePageAllocator:
             for core_id in state.walker_cores:
                 self.machine.cores[core_id].tlb.invalidate(vpn)
         remote = len(state.walker_cores - {core.core_id})
-        core.charge(
-            freed * costs.hw_arena_free_per_page
-            + remote * costs.tlb_shootdown,
-            "hw_page",
-        )
+        free_cycles = freed * costs.hw_arena_free_per_page
+        shootdown_cycles = remote * costs.tlb_shootdown
+        core.charge(free_cycles + shootdown_cycles, "hw_page")
+        if self._p_arena_free is not None:
+            self._p_arena_free.add(free_cycles)
+            if remote:
+                self._p_shootdown.count += remote
+                self._p_shootdown.cycles += shootdown_cycles
         if remote and self._ring is not None:
             self._ring.record("tlb.shootdown", remote)
         owner = state.owner_thread(size_class, va)

@@ -77,6 +77,25 @@ ALLOCATOR_REGISTRY: Dict[str, type] = {
 ProgressFn = Callable[[int, int, "RunRequest", str, float], None]
 
 
+def resolve_jobs(jobs: Any) -> int:
+    """Validate a worker-process count (``--jobs`` / ``REPRO_JOBS``).
+
+    Raises :class:`ValueError` — which the CLI reports as a clean
+    ``repro: error:`` line — instead of letting a zero or negative count
+    surface later as a ``ProcessPoolExecutor`` traceback.
+    """
+    try:
+        count = int(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    if count != jobs and not isinstance(jobs, str):
+        # int() would silently truncate (e.g. 1.5 -> 1).
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    if count < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    return count
+
+
 def _canonical(value: Any) -> Any:
     """Reduce a request component to a stable, JSON-serializable form.
 
@@ -350,7 +369,7 @@ class ExperimentEngine:
                 use_disk_cache
                 and os.environ.get("REPRO_NO_LEDGER", "") == ""
             )
-        self.jobs = max(1, int(jobs))
+        self.jobs = resolve_jobs(jobs)
         self.cost_model = cost_model or DEFAULT_COSTS
         self.disk = DiskCache(Path(cache_dir)) if use_disk_cache else None
         self.ledger = (
@@ -379,7 +398,7 @@ class ExperimentEngine:
         one batch execute once. Misses run in parallel when ``jobs`` (or
         the engine default) exceeds one and the batch has several.
         """
-        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
         tracer = get_tracer()
         with tracer.span(
             "engine.run_many", requests=len(requests)

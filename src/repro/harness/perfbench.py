@@ -34,6 +34,7 @@ from repro.harness.engine import (
 )
 from repro.harness.system import SimulatedSystem
 from repro.obs.events import EventRing, install_ring
+from repro.obs.profile import CycleProfile, install_profile
 from repro.obs.tracing import Tracer, get_tracer, set_tracer
 from repro.workloads.registry import get_workload
 from repro.workloads.synth import generate_trace
@@ -190,6 +191,57 @@ def bench_obs_overhead(
     }
 
 
+def bench_profile_overhead(
+    workload: str = "html",
+    num_allocs: int = 4000,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """A/B the cycle-attribution profiler's replay cost.
+
+    Same protocol as :func:`bench_obs_overhead`, but for the
+    :class:`CycleProfile` gate: disabled (no profile installed — the
+    closure factories emit the uninstrumented replay loop) vs enabled (a
+    live profile accumulating attribution cells and histograms). The
+    disabled side must stay at replay-key parity; it is the "no
+    measurable regression when off" acceptance number.
+    """
+    spec = dataclasses.replace(
+        get_workload(workload).resolved(), num_allocs=num_allocs
+    )
+    trace = generate_trace(spec)
+    trace.columnar()
+
+    def best_of(profile) -> float:
+        best = float("inf")
+        previous = install_profile(profile)
+        try:
+            for _ in range(max(1, repeats)):
+                if profile is not None:
+                    profile.clear()
+                # Constructed inside the install window: components bind
+                # the profile's cells at construction time.
+                system = SimulatedSystem(spec, memento=True)
+                started = time.perf_counter()
+                system.run(trace)
+                elapsed = time.perf_counter() - started
+                if elapsed < best:
+                    best = elapsed
+        finally:
+            install_profile(previous)
+        return best
+
+    disabled = best_of(None)
+    enabled = best_of(CycleProfile())
+    return {
+        "workload": workload,
+        "num_allocs": num_allocs,
+        "repeats": repeats,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": enabled / disabled,
+    }
+
+
 def compare(
     current: Dict[str, Dict[str, Any]],
     reference: Dict[str, Dict[str, Any]],
@@ -237,6 +289,7 @@ def run_bench(
     if not smoke:
         payload["engine_cache"] = bench_engine_cache()
         payload["obs_overhead"] = bench_obs_overhead()
+        payload["profile_overhead"] = bench_profile_overhead()
     if compare_path is not None:
         reference = json.loads(Path(compare_path).read_text())
         ref_replay = reference.get("replay", reference)

@@ -15,6 +15,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.allocators import ALLOCATOR_BY_LANGUAGE
 from repro.allocators.jemalloc import JemallocAllocator
+from repro.obs import profile as obs_profile
 from repro.obs.tracing import get_tracer
 from repro.core.bypass import COUNTER_MAX
 from repro.core.config import MementoConfig
@@ -135,6 +136,14 @@ class SimulatedSystem:
         study of §6.6); by default each system gets a private stack."""
         self.spec = spec.resolved()
         self.memento = memento
+        # Cycle-attribution profile, bound before any component below is
+        # constructed so their cells intern against it; the checkpoint
+        # scopes this system's deltas (profiled systems must run
+        # sequentially — interleaved construction would mix windows).
+        self._profile = obs_profile.PROFILE
+        self._profile_ckpt = (
+            self._profile.checkpoint() if self._profile is not None else None
+        )
         self.machine = machine or Machine(machine_params, cost_model)
         self.kernel = kernel or Kernel(self.machine)
         self.process = self.kernel.create_process()
@@ -204,6 +213,13 @@ class SimulatedSystem:
         # Built last: the touch closure captures the stack-specific cells
         # (bypass engine on Memento) chosen above.
         self._touch_lines = self._make_touch_lines()
+        # Baseline for the derived bypass component (co-located machines
+        # may carry counts from an earlier system on the same stats).
+        self._profile_bypassed0 = (
+            int(self.machine.stats["memento.bypass.bypassed_lines"])
+            if self._profile is not None and memento
+            else 0
+        )
 
     def _make_metadata_touch(self):
         """Build the allocator metadata-touch callback.
@@ -502,16 +518,22 @@ class SimulatedSystem:
         import gc
 
         tracer = get_tracer()
+        profile = self._profile
+        marks = []
         with tracer.span(
             "system.run",
             workload=self.spec.name,
             stack="memento" if self.memento else "baseline",
         ) as run_span:
+            if profile is not None:
+                marks.append(("setup", self.core.cycles))
             if trace is None:
                 with tracer.span("trace.load", workload=self.spec.name):
                     trace = generate_trace(self.spec)
             if self.cold_start:
                 self._run_cold_start(trace)
+            if profile is not None:
+                marks.append(("cold_start", self.core.cycles))
             packer = getattr(trace, "columnar", None)
             columnar = packer() if packer is not None else None
             # The replay churns through dataclass records and OrderedDict
@@ -532,12 +554,53 @@ class SimulatedSystem:
             finally:
                 if gc_was_enabled:
                     gc.enable()
+            if profile is not None:
+                marks.append(("replay", self.core.cycles))
             if trace.category == "function":
                 self._function_exit()
+            if profile is not None:
+                marks.append(("teardown", self.core.cycles))
             with tracer.span("stats.fold"):
                 result = self._collect(trace, allocs, frees)
+            if profile is not None:
+                self._finish_profile(result, marks)
             run_span.set("total_cycles", result.total_cycles)
         return result
+
+    def _finish_profile(self, result: RunResult, marks) -> None:
+        """Reconcile this run's cycle attribution into the installed
+        profile (:meth:`CycleProfile.finish_run`). Read-only over the
+        simulator's state: the RunResult is already built and unchanged.
+        """
+        derived = None
+        if self.memento:
+            bypassed = (
+                int(result.stats.get("memento.bypass.bypassed_lines", 0))
+                - self._profile_bypassed0
+            )
+            if bypassed:
+                # Each bypassed line charged exactly the LLC-instantiate
+                # latency into cycles.touch, so the component is exact.
+                cost = self.core.caches._r_bypass.cycles
+                derived = {
+                    "touch.bypass_instantiate": (bypassed, bypassed * cost)
+                }
+        phases = {}
+        prev = 0
+        for name, cycle_mark in marks:
+            delta = cycle_mark - prev
+            prev = cycle_mark
+            if delta:
+                phases[name] = delta
+        self._profile.finish_run(
+            workload=result.name,
+            stack="memento" if self.memento else "baseline",
+            categories={k: int(v) for k, v in result.cycles.items()},
+            total_cycles=int(result.total_cycles),
+            checkpoint=self._profile_ckpt,
+            derived=derived,
+            phases=phases,
+        )
 
     def _replay_columnar(self, columnar) -> "tuple[int, int]":
         """Drive the packed trace form: integer kind tags and operand

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs import profile as obs_profile
 from repro.sim.params import PAGE_SHIFT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,6 +36,15 @@ class PageFaultHandler:
         self._fault_cycles = self.stats.counter("cycles")
         self._spurious = self.stats.counter("spurious")
         self._segv = self.stats.counter("segv")
+        # Cycle-attribution cell/histogram, bound at construction (one
+        # None test per fault when disabled; see obs/profile.py).
+        profile = obs_profile.PROFILE
+        if profile is None:
+            self._p_fault = None
+            self._h_fault = None
+        else:
+            self._p_fault = profile.cell("kernel.fault")
+            self._h_fault = profile.hist("op.page_fault")
 
     def handle(
         self, core: "Core", process: "Process", vaddr: int
@@ -56,7 +66,11 @@ class PageFaultHandler:
         if existing is not None:
             # Spurious fault (page already backed, e.g. populated or
             # raced): the handler returns after the lookup.
-            core.charge(costs.page_fault // 4, "kernel_page")
+            spurious_cycles = costs.page_fault // 4
+            core.charge(spurious_cycles, "kernel_page")
+            if self._p_fault is not None:
+                self._p_fault.add(spurious_cycles)
+                self._h_fault.record(spurious_cycles)
             self._spurious.add()
             return existing
         pfn = self.kernel.buddy.alloc(0)
@@ -70,6 +84,9 @@ class PageFaultHandler:
             + created_tables * costs.buddy_alloc
         )
         core.charge(cycles, "kernel_page")
+        if self._p_fault is not None:
+            self._p_fault.add(cycles)
+            self._h_fault.record(cycles)
         self._faults.add()
         self._fault_cycles.add(cycles)
         # Zeroing the fresh page writes its 64 lines through the caches;

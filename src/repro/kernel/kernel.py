@@ -14,6 +14,7 @@ from repro.kernel.buddy import BuddyAllocator
 from repro.kernel.fault import PageFaultHandler
 from repro.kernel.process import Process
 from repro.kernel.syscalls import SyscallInterface
+from repro.obs import profile as obs_profile
 from repro.sim.machine import Core, Machine
 
 
@@ -34,6 +35,16 @@ class Kernel:
         self._running: Optional[Process] = None
         self.stats = machine.stats.scoped("kernel")
         self._warm_prefaulted = self.stats.counter("warm_prefaulted_pages")
+        # Cycle-attribution cells, bound at construction (obs/profile.py).
+        profile = obs_profile.PROFILE
+        if profile is None:
+            self._p_switch = None
+            self._p_walk = None
+            self._h_walk = None
+        else:
+            self._p_switch = profile.cell("kernel.switch")
+            self._p_walk = profile.cell("walk.page_walk")
+            self._h_walk = profile.hist("op.page_walk")
 
     # -- frame helpers for page tables ------------------------------------
 
@@ -69,6 +80,8 @@ class Kernel:
             cycles += flushed * costs.hot_flush_per_entry
         core.context_switch_flush()
         core.charge(cycles, "kernel_other")
+        if self._p_switch is not None:
+            self._p_switch.add(cycles)
         self._running = to
         self.stats.add("context_switches")
 
@@ -136,7 +149,12 @@ class Kernel:
         from repro.sim.params import PAGE_SHIFT
 
         vpn = vaddr >> PAGE_SHIFT
+        walk_cycles = 0
         for node_pfn in process.page_table.walk_path(vpn):
             result = core.caches.access_line(node_pfn << 6)
             core.charge(result.cycles, "walk")
+            walk_cycles += result.cycles
+        if self._p_walk is not None:
+            self._p_walk.add(walk_cycles)
+            self._h_walk.record(walk_cycles)
         return process.page_table.walk(vpn)

@@ -1,17 +1,23 @@
-"""Observability: span tracing, metrics export, event ring, run ledger.
+"""Observability: tracing, metrics, events, ledger, profiler, timeline.
 
-The subsystem has four small parts, all off by default and woven through
-the harness so enabling them costs one CLI flag (``repro run --trace
---metrics out.prom``) rather than code changes:
+The subsystem's parts are all off by default and woven through the
+harness so enabling them costs one CLI flag (``repro run --trace
+--metrics out.prom``, ``repro run --profile``) rather than code changes:
 
 * :mod:`repro.obs.tracing` — nested wall-clock spans over a run's
   phases, with a shared no-op null tracer when disabled.
-* :mod:`repro.obs.metrics` — Stats snapshots and span trees serialized
-  to Prometheus text and JSON-lines.
+* :mod:`repro.obs.metrics` — Stats snapshots, span trees, histograms,
+  and profiles serialized to Prometheus text and JSON-lines.
 * :mod:`repro.obs.events` — a sampled, bounded ring of hardware events
   (HOT hits, AAC bumps, bypass instantiations, TLB shootdowns).
 * :mod:`repro.obs.ledger` — the append-only run ledger every engine
   execution writes, plus the ``repro obs check`` regression gate.
+* :mod:`repro.obs.profile` — exact simulated-cycle attribution (the
+  paper's Fig. 9 question) and per-op log2 latency histograms.
+* :mod:`repro.obs.timeline` — span trees and sampled events exported as
+  Chrome/Perfetto trace-event JSON (``repro obs timeline``).
+* :mod:`repro.obs.trend` — ledger history analytics: robust per-key
+  wall-time and digest drift detection (``repro obs trend``).
 """
 
 from repro.obs.events import EventRing, get_ring, install_ring
@@ -27,6 +33,8 @@ from repro.obs.ledger import (
 )
 from repro.obs.metrics import (
     event_record,
+    histogram_lines,
+    profile_record,
     prometheus_lines,
     read_jsonl,
     render_prometheus,
@@ -35,6 +43,21 @@ from repro.obs.metrics import (
     span_record,
     write_jsonl,
     write_prometheus,
+)
+from repro.obs.profile import (
+    CycleProfile,
+    Log2Histogram,
+    ProfileCell,
+    get_profile,
+    install_profile,
+    render_histograms,
+    render_profile,
+    render_top_consumers,
+)
+from repro.obs.timeline import (
+    export_timeline,
+    trace_events,
+    validate_trace_events,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -45,33 +68,50 @@ from repro.obs.tracing import (
     render_span_tree,
     set_tracer,
 )
+from repro.obs.trend import check_trend, render_trend, trend_by_key
 
 __all__ = [
     "DEFAULT_THRESHOLD_PCT",
+    "CycleProfile",
     "EventRing",
     "LEDGER_NAME",
+    "Log2Histogram",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileCell",
     "RunLedger",
     "Span",
     "Tracer",
     "check_bench",
     "check_ledger_determinism",
+    "check_trend",
     "counter_digest",
     "default_ledger_path",
     "event_record",
+    "export_timeline",
+    "get_profile",
     "get_ring",
     "get_tracer",
+    "histogram_lines",
+    "install_profile",
     "install_ring",
     "manifest",
+    "profile_record",
     "prometheus_lines",
     "read_jsonl",
+    "render_histograms",
+    "render_profile",
     "render_prometheus",
     "render_span_tree",
+    "render_top_consumers",
     "run_record",
     "sanitize_metric_name",
     "set_tracer",
     "span_record",
+    "trace_events",
+    "trend_by_key",
+    "render_trend",
+    "validate_trace_events",
     "write_jsonl",
     "write_prometheus",
 ]

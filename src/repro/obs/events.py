@@ -18,6 +18,7 @@ whose events you want.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 
@@ -27,18 +28,39 @@ class EventRing:
     ``seq`` is the per-kind occurrence number of the sampled event (1 is
     the first occurrence), so consumers can recover the sampling rate and
     approximate totals. ``counts`` holds exact per-kind totals.
+
+    With ``timestamps=True`` each *sampled* record grows a fourth field —
+    the ``time.perf_counter`` reading at record time (the same clock the
+    tracer uses, so the timeline exporter can place events inside spans).
+    The clock is read only on the sampled 1-in-``sample_every`` path, and
+    the default stays off so existing 3-tuple consumers are unaffected.
     """
 
-    __slots__ = ("capacity", "sample_every", "counts", "_buf", "_head")
+    __slots__ = (
+        "capacity",
+        "sample_every",
+        "timestamps",
+        "counts",
+        "_buf",
+        "_head",
+        "_clock",
+    )
 
-    def __init__(self, capacity: int = 4096, sample_every: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        sample_every: int = 64,
+        timestamps: bool = False,
+    ) -> None:
         if capacity <= 0 or sample_every <= 0:
             raise ValueError("capacity and sample_every must be positive")
         self.capacity = capacity
         self.sample_every = sample_every
+        self.timestamps = timestamps
         self.counts: Dict[str, int] = {}
-        self._buf: List[Optional[Tuple[int, str, int]]] = [None] * capacity
+        self._buf: List[Optional[Tuple]] = [None] * capacity
         self._head = 0
+        self._clock = time.perf_counter
 
     def record(self, kind: str, value: int = 0) -> None:
         """Count one occurrence of ``kind``; sample it into the ring."""
@@ -47,11 +69,15 @@ class EventRing:
         counts[kind] = seen
         if seen % self.sample_every:
             return
-        self._buf[self._head % self.capacity] = (seen, kind, value)
+        if self.timestamps:
+            record = (seen, kind, value, self._clock())
+        else:
+            record = (seen, kind, value)
+        self._buf[self._head % self.capacity] = record
         self._head += 1
 
-    def events(self) -> List[Tuple[int, str, int]]:
-        """Sampled records, oldest first."""
+    def events(self) -> List[Tuple]:
+        """Sampled records, oldest first (4-tuples when timestamping)."""
         if self._head <= self.capacity:
             return [e for e in self._buf[: self._head] if e is not None]
         start = self._head % self.capacity
@@ -63,6 +89,7 @@ class EventRing:
         return {
             "capacity": self.capacity,
             "sample_every": self.sample_every,
+            "timestamps": self.timestamps,
             "counts": dict(self.counts),
             "events": [list(e) for e in self.events()],
         }

@@ -21,7 +21,7 @@ import hashlib
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 SCHEMA_VERSION = 1
 
@@ -90,11 +90,23 @@ class RunLedger:
 
     def read(self) -> List[Dict[str, Any]]:
         """Every parseable manifest, oldest first (corrupt lines skipped)."""
+        return self.read_classified()[0]
+
+    def read_classified(self) -> Tuple[List[Dict[str, Any]], int]:
+        """``(entries, skipped)`` — manifests plus the unusable-line count.
+
+        A line is skipped when it is not JSON, not an object, lacks the
+        ``key`` field (pre-manifest experiments wrote bare summaries), or
+        declares a ``schema`` newer than this reader understands. Old
+        lines *without* a ``schema`` field are accepted as version 1 —
+        the ledger is append-only and must keep reading its own history.
+        """
         entries: List[Dict[str, Any]] = []
+        skipped = 0
         try:
             text = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:
-            return entries
+            return entries, skipped
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -102,10 +114,17 @@ class RunLedger:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
+                skipped += 1
                 continue
-            if isinstance(entry, dict) and "key" in entry:
-                entries.append(entry)
-        return entries
+            if not isinstance(entry, dict) or "key" not in entry:
+                skipped += 1
+                continue
+            schema = entry.get("schema", 1)
+            if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+                skipped += 1
+                continue
+            entries.append(entry)
+        return entries, skipped
 
     def tail(self, count: int) -> List[Dict[str, Any]]:
         return self.read()[-count:]

@@ -100,6 +100,41 @@ def write_prometheus(
     return path
 
 
+def histogram_lines(
+    hist_payload: Mapping[str, Any],
+    labels: Optional[Mapping[str, str]] = None,
+    prefix: str = DEFAULT_PREFIX,
+    seen_types: Optional[set] = None,
+) -> List[str]:
+    """Render one ``Log2Histogram.to_dict()`` payload as a Prometheus
+    histogram: cumulative ``_bucket{le=...}`` samples, ``_sum``, and
+    ``_count``, with the standard ``+Inf`` terminal bucket.
+    """
+    seen = seen_types if seen_types is not None else set()
+    metric = sanitize_metric_name(str(hist_payload.get("name", "hist")), prefix)
+    lines: List[str] = []
+    if metric not in seen:
+        seen.add(metric)
+        lines.append(f"# TYPE {metric} histogram")
+    base_labels = dict(labels or {})
+    buckets = hist_payload.get("buckets", [])
+    bounds = hist_payload.get("upper_bounds", [])
+    cumulative = 0
+    for count, bound in zip(buckets, bounds):
+        cumulative += count
+        if not count and not cumulative:
+            continue
+        label_text = _label_text({**base_labels, "le": str(bound)})
+        lines.append(f"{metric}_bucket{label_text} {cumulative}")
+    inf_text = _label_text({**base_labels, "le": "+Inf"})
+    total = hist_payload.get("count", cumulative)
+    lines.append(f"{metric}_bucket{inf_text} {total}")
+    plain = _label_text(base_labels)
+    lines.append(f"{metric}_sum{plain} {hist_payload.get('total', 0):g}")
+    lines.append(f"{metric}_count{plain} {total}")
+    return lines
+
+
 # -- JSON-lines ---------------------------------------------------------------
 
 
@@ -130,6 +165,11 @@ def span_record(tracer_payload: Mapping[str, Any]) -> Dict[str, Any]:
 def event_record(ring_payload: Mapping[str, Any]) -> Dict[str, Any]:
     """One ``kind: "events"`` record from ``EventRing.to_dict()``."""
     return {"kind": "events", **dict(ring_payload)}
+
+
+def profile_record(profile_payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """One ``kind: "profile"`` record from ``CycleProfile.to_dict()``."""
+    return {"kind": "profile", **dict(profile_payload)}
 
 
 def write_jsonl(path: Path, records: Iterable[Mapping[str, Any]]) -> Path:

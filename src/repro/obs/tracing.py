@@ -53,8 +53,17 @@ class Span:
         return False
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON form: name, seconds, attrs, nested children."""
-        out: Dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        """Plain-JSON form: name, seconds, start, attrs, children.
+
+        ``start`` is the raw tracer-clock reading at span entry — only
+        offsets between spans of one payload are meaningful (the timeline
+        exporter rebases them to the earliest span).
+        """
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "start": self.start,
+        }
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:

@@ -1,0 +1,189 @@
+"""Ledger trend analytics: history-aware drift detection.
+
+``repro obs check`` compares a fresh bench payload against one committed
+baseline; this module instead walks the *full* run-ledger history
+(``.repro-cache/ledger.jsonl``), groups entries by content key, and asks
+two questions per key:
+
+* **wall-time drift** — is the latest live execution an outlier against
+  the key's history? The test is robust: the latest elapsed time must
+  exceed the historical median by both a percentage threshold and
+  ``mad_k`` scaled median-absolute-deviations, so one slow machine day
+  does not fail the gate and a genuinely bimodal history does not pass
+  it. Only slowdowns flag (speedups are good news). Cache and memo hits
+  replay a stored artifact in ~0 time, so only ``source == "live"``
+  entries enter the timing series.
+* **digest drift** — did the same content key ever produce more than one
+  counter digest? The simulator is deterministic, so any disagreement is
+  a correctness regression, never noise (all sources count here).
+
+``check_trend`` aggregates per-key verdicts into a gate result the CLI
+turns into an exit code (`repro obs trend`, report-only in CI).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.ledger import RunLedger
+
+#: Latest live run must be at least this much slower than the median
+#: before it can flag (percent).
+DEFAULT_TREND_THRESHOLD_PCT = 50.0
+
+#: ...and exceed the median by this many scaled MADs.
+DEFAULT_MAD_K = 4.0
+
+#: Consistency factor making the MAD comparable to a standard deviation
+#: under normality.
+MAD_SCALE = 1.4826
+
+#: Fewer live samples than this and the timing test abstains (median and
+#: MAD of a couple of points carry no signal).
+MIN_SAMPLES = 3
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median (average of middle pair for even lengths)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def trend_by_key(
+    entries: Sequence[Mapping[str, Any]],
+    threshold_pct: float = DEFAULT_TREND_THRESHOLD_PCT,
+    mad_k: float = DEFAULT_MAD_K,
+    min_samples: int = MIN_SAMPLES,
+) -> List[Dict[str, Any]]:
+    """Per-content-key trend rows for a ledger entry sequence.
+
+    Each row carries the key's workload/stack, live-sample count, median
+    and latest elapsed seconds, the robust drift verdict, and the set of
+    counter digests seen. Rows are ordered by first appearance.
+    """
+    grouped: Dict[str, Dict[str, Any]] = {}
+    for entry in entries:
+        key = entry.get("key")
+        if not key:
+            continue
+        group = grouped.get(key)
+        if group is None:
+            group = grouped[key] = {
+                "key": key,
+                "workload": entry.get("workload"),
+                "stack": entry.get("stack"),
+                "runs": 0,
+                "live_elapsed": [],
+                "digests": [],
+            }
+        group["runs"] += 1
+        if entry.get("source") == "live":
+            elapsed = entry.get("elapsed_s")
+            if isinstance(elapsed, (int, float)) and elapsed >= 0:
+                group["live_elapsed"].append(float(elapsed))
+        digest = entry.get("counter_digest")
+        if digest and digest not in group["digests"]:
+            group["digests"].append(digest)
+
+    rows: List[Dict[str, Any]] = []
+    for group in grouped.values():
+        series: List[float] = group.pop("live_elapsed")
+        digests: List[str] = group["digests"]
+        row = dict(group)
+        row["live_samples"] = len(series)
+        row["digest_drift"] = len(digests) > 1
+        row["time_drift"] = False
+        row["median_s"] = None
+        row["latest_s"] = None
+        row["deviation_mads"] = None
+        if len(series) >= max(2, min_samples):
+            history, latest = series[:-1], series[-1]
+            center = median(history)
+            spread = MAD_SCALE * mad(history, center)
+            row["median_s"] = center
+            row["latest_s"] = latest
+            if spread > 0:
+                row["deviation_mads"] = (latest - center) / spread
+            over_pct = latest > center * (1.0 + threshold_pct / 100.0)
+            over_mad = spread == 0 or latest > center + mad_k * spread
+            row["time_drift"] = over_pct and over_mad
+        row["drift"] = row["time_drift"] or row["digest_drift"]
+        rows.append(row)
+    return rows
+
+
+def check_trend(
+    ledger: RunLedger,
+    threshold_pct: float = DEFAULT_TREND_THRESHOLD_PCT,
+    mad_k: float = DEFAULT_MAD_K,
+    min_samples: int = MIN_SAMPLES,
+) -> Dict[str, Any]:
+    """Gate result over the full ledger history.
+
+    ``{"ok": bool, "rows": [...], "entries": N, "skipped": M}`` — ``ok``
+    is False when any key shows wall-time or digest drift. ``skipped``
+    counts ledger lines whose schema the reader did not recognize.
+    """
+    entries, skipped = ledger.read_classified()
+    rows = trend_by_key(
+        entries,
+        threshold_pct=threshold_pct,
+        mad_k=mad_k,
+        min_samples=min_samples,
+    )
+    drifted = [row for row in rows if row["drift"]]
+    return {
+        "ok": not drifted,
+        "threshold_pct": threshold_pct,
+        "mad_k": mad_k,
+        "entries": len(entries),
+        "skipped": skipped,
+        "rows": rows,
+    }
+
+
+def render_trend(report: Mapping[str, Any]) -> str:
+    """ASCII table of a :func:`check_trend` report."""
+    rows = report.get("rows", [])
+    if not rows:
+        return "(ledger has no trend data)"
+    lines = [
+        f"{'workload':<14} {'stack':<9} {'runs':>5} {'live':>5} "
+        f"{'median_s':>9} {'latest_s':>9} {'dev':>7}  status"
+    ]
+    for row in rows:
+        med = row.get("median_s")
+        latest = row.get("latest_s")
+        dev = row.get("deviation_mads")
+        if row.get("digest_drift"):
+            status = "DIGEST DRIFT"
+        elif row.get("time_drift"):
+            status = "TIME DRIFT"
+        elif row.get("live_samples", 0) < MIN_SAMPLES:
+            status = "(insufficient history)"
+        else:
+            status = "ok"
+        med_text = f"{med:>9.3f}" if med is not None else f"{'-':>9}"
+        latest_text = f"{latest:>9.3f}" if latest is not None else f"{'-':>9}"
+        dev_text = f"{dev:>7.2f}" if dev is not None else f"{'-':>7}"
+        lines.append(
+            f"{str(row.get('workload')):<14} {str(row.get('stack')):<9} "
+            f"{row.get('runs', 0):>5} {row.get('live_samples', 0):>5} "
+            f"{med_text} {latest_text} {dev_text}  {status}"
+        )
+    skipped = report.get("skipped", 0)
+    if skipped:
+        lines.append(f"(skipped {skipped} unrecognized ledger line(s))")
+    return "\n".join(lines)

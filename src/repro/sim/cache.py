@@ -22,6 +22,7 @@ from collections import OrderedDict
 from typing import List, NamedTuple, Optional, Tuple
 
 from repro.obs import events as obs_events
+from repro.obs import profile as obs_profile
 from repro.sim.params import CacheParams, LINE_SHIFT, LINE_SIZE, MachineParams
 from repro.sim.stats import ScopedStats, Stats
 
@@ -385,6 +386,31 @@ class CacheHierarchy:
                                 l2_dirty_evictions.pending += 1
                         v_set[victim_addr] = True
             l1_set[line] = write
+            return result
+
+        # Cycle-attribution profiling is bound at construction exactly
+        # like the instantiate ring wrapper below: with no profile
+        # installed (the default) the un-wrapped closure is returned, so
+        # the disabled replay path is byte-identical. The wrapper only
+        # samples outer-level outcomes into latency histograms and the
+        # cross-category ``dram.access`` overlay — it never charges
+        # cycles, so results are unchanged either way.
+        profile = obs_profile.PROFILE
+        if profile is None:
+            return access_line
+        h_llc = profile.hist("op.llc_access")
+        h_dram = profile.hist("op.dram_access")
+        dram_cell = profile.cell("dram.access")
+        inner = access_line
+
+        def access_line(line, write=False):
+            result = inner(line, write)
+            if result is r_dram:
+                h_dram.record(r_dram.cycles)
+                dram_cell.count += 1
+                dram_cell.cycles += r_dram.cycles
+            elif result is r_llc:
+                h_llc.record(r_llc.cycles)
             return result
 
         return access_line

@@ -261,3 +261,44 @@ def test_cost_model_fingerprint_tracks_content():
     # identity-keyed memo never changes what the cache keys contain.
     clone = CostModel()
     assert cost_model_fingerprint(clone) == cost_model_fingerprint(base)
+
+
+# ----------------------------------------------------------- jobs validation
+
+
+class TestResolveJobs:
+    def test_valid_counts_pass_through(self):
+        from repro.harness.engine import resolve_jobs
+
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs("4") == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, "-3", "two", None, 1.5])
+    def test_invalid_counts_raise_value_error(self, bad):
+        from repro.harness.engine import resolve_jobs
+
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_jobs(bad)
+
+    def test_engine_rejects_bad_jobs_at_construction(self, tmp_path):
+        with pytest.raises(ValueError, match="positive integer"):
+            make_engine(tmp_path, jobs=0)
+
+    def test_run_many_rejects_bad_jobs_override(self, tmp_path):
+        engine = make_engine(tmp_path, use_disk_cache=False)
+        with pytest.raises(ValueError, match="positive integer"):
+            engine.run_many(
+                [RunRequest(small(), memento=False)], jobs=-2
+            )
+
+    def test_cli_reports_bad_jobs_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--workload", "aes", "--jobs", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "positive integer" in err
+        assert "Traceback" not in err

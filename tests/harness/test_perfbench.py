@@ -54,3 +54,16 @@ def test_cli_bench_smoke_writes_json(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert "html/baseline" in payload["replay"]
     assert str(out) in capsys.readouterr().out
+
+
+def test_bench_profile_overhead_shape():
+    row = perfbench.bench_profile_overhead(num_allocs=600, repeats=1)
+    assert row["disabled_seconds"] > 0
+    assert row["enabled_seconds"] > 0
+    assert row["overhead_ratio"] == (
+        row["enabled_seconds"] / row["disabled_seconds"]
+    )
+    # The A/B must leave no profile installed behind.
+    from repro.obs.profile import get_profile
+
+    assert get_profile() is None

@@ -154,3 +154,34 @@ def test_check_ledger_determinism(tmp_path):
 def test_default_ledger_path(tmp_path):
     assert default_ledger_path(tmp_path).name == "ledger.jsonl"
     assert default_ledger_path(str(tmp_path)).parent == tmp_path
+
+
+# -- schema-tolerant reads ----------------------------------------------------
+
+
+class TestReadClassified:
+    def test_counts_unrecognized_lines(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append({"key": "a", "schema": 1})
+        ledger.append({"key": "b"})  # pre-schema line: accepted as v1
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+            handle.write('{"no_key": true}\n')
+            handle.write('{"key": "c", "schema": 99}\n')
+            handle.write('{"key": "d", "schema": "weird"}\n')
+        entries, skipped = ledger.read_classified()
+        assert [e["key"] for e in entries] == ["a", "b"]
+        assert skipped == 4
+
+    def test_read_matches_classified_entries(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append({"key": "a"})
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "z", "schema": 99}\n')
+        assert ledger.read() == ledger.read_classified()[0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        entries, skipped = RunLedger(
+            tmp_path / "absent.jsonl"
+        ).read_classified()
+        assert entries == [] and skipped == 0

@@ -117,3 +117,56 @@ class TestJsonl:
 
     def test_read_missing_file_returns_empty(self, tmp_path):
         assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+
+# -- histogram exposition -----------------------------------------------------
+
+
+class TestHistogramLines:
+    def payload(self):
+        from repro.obs.profile import Log2Histogram
+
+        hist = Log2Histogram("op.alloc")
+        for value in (2, 3, 40, 900):
+            hist.record(value)
+        return hist.to_dict()
+
+    def test_buckets_are_cumulative_with_inf_terminal(self):
+        from repro.obs.metrics import histogram_lines
+
+        lines = histogram_lines(self.payload())
+        assert lines[0] == "# TYPE repro_op_alloc histogram"
+        assert 'repro_op_alloc_bucket{le="3"} 2' in lines
+        assert 'repro_op_alloc_bucket{le="63"} 3' in lines
+        assert 'repro_op_alloc_bucket{le="1023"} 4' in lines
+        assert 'repro_op_alloc_bucket{le="+Inf"} 4' in lines
+        assert "repro_op_alloc_sum 945" in lines
+        assert "repro_op_alloc_count 4" in lines
+
+    def test_labels_compose_with_le(self):
+        from repro.obs.metrics import histogram_lines
+
+        lines = histogram_lines(self.payload(), labels={"workload": "html"})
+        assert any(
+            'le="+Inf"' in line and 'workload="html"' in line
+            for line in lines
+        )
+
+    def test_shared_seen_types_suppresses_duplicate_headers(self):
+        from repro.obs.metrics import histogram_lines
+
+        seen = set()
+        first = histogram_lines(self.payload(), seen_types=seen)
+        second = histogram_lines(self.payload(), seen_types=seen)
+        assert first[0].startswith("# TYPE")
+        assert not any(line.startswith("# TYPE") for line in second)
+
+
+def test_profile_record_wraps_the_payload():
+    from repro.obs.metrics import profile_record
+    from repro.obs.profile import CycleProfile
+
+    profile = CycleProfile()
+    record = profile_record(profile.to_dict())
+    assert record["kind"] == "profile"
+    assert record["runs"] == [] and "histograms" in record

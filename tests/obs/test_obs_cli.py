@@ -14,6 +14,7 @@ from repro.obs import (
     Tracer,
     default_ledger_path,
     get_tracer,
+    install_profile,
     install_ring,
     set_tracer,
 )
@@ -28,9 +29,11 @@ def small_spec(name="html", num_allocs=1_500):
 def _clean_obs_globals():
     previous_tracer = get_tracer()
     previous_ring = install_ring(None)
+    previous_profile = install_profile(None)
     yield
     set_tracer(previous_tracer)
     install_ring(previous_ring)
+    install_profile(previous_profile)
 
 
 @pytest.fixture
@@ -292,6 +295,145 @@ class TestObsCli:
         assert main(["obs", "diff", str(bench), str(jsonl)]) == 2
 
 
+# -- repro run --profile / repro obs profile|timeline|trend -------------------
+
+
+class TestProfileCli:
+    def profiled_run(self, tmp_path, capsys, extra=()):
+        prom = tmp_path / "p.prom"
+        code = main([
+            "run", "--workload", "html",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--profile", "--metrics", str(prom), *extra,
+        ])
+        return code, prom, capsys.readouterr()
+
+    def test_profile_prints_breakdown_and_exports(
+        self, tmp_path, capsys, small_cli_workloads
+    ):
+        code, prom, captured = self.profiled_run(tmp_path, capsys)
+        assert code == 0
+        assert "Cycle attribution" in captured.out
+        assert "hot.alloc_hit" in captured.out
+        assert "top 10 cycle consumers" in captured.out
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "p.prom.jsonl").read_text().splitlines()
+        ]
+        (profile,) = [r for r in records if r["kind"] == "profile"]
+        assert len(profile["runs"]) == 3
+        for run in profile["runs"]:
+            assert run["unattributed_cycles"] == 0
+        # Histograms ride in the Prometheus file too.
+        text = prom.read_text()
+        assert "# TYPE repro_op_alloc histogram" in text
+        assert "repro_op_alloc_bucket" in text
+
+    def test_profile_forces_serial(
+        self, tmp_path, capsys, small_cli_workloads
+    ):
+        code, _, captured = self.profiled_run(
+            tmp_path, capsys, ["--jobs", "4"]
+        )
+        assert code == 0
+        assert "ignoring --jobs" in captured.err
+
+    def test_obs_profile_renders_an_export(
+        self, tmp_path, capsys, small_cli_workloads
+    ):
+        self.profiled_run(tmp_path, capsys)
+        assert main([
+            "obs", "profile", str(tmp_path / "p.prom.jsonl"), "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle attribution" in out
+        assert "top 5 cycle consumers" in out
+        assert "op.alloc" in out
+
+    def test_obs_profile_without_records_errors(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"kind": "run"}\n')
+        assert main(["obs", "profile", str(path)]) == 1
+        assert "no profile records" in capsys.readouterr().err
+
+    def test_obs_timeline_exports_valid_trace(
+        self, tmp_path, capsys, small_cli_workloads
+    ):
+        prom = tmp_path / "t.prom"
+        assert main([
+            "run", "--workload", "html",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace", "--metrics", str(prom),
+        ]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "obs", "timeline", str(tmp_path / "t.prom.jsonl"),
+            "--out", str(out_path),
+        ]) == 0
+        assert "trace events" in capsys.readouterr().out
+        from repro.obs import validate_trace_events
+
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        assert validate_trace_events(events) == len(events)
+        assert any(e.get("name") == "system.run" for e in events)
+
+    def test_obs_timeline_without_records_errors(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"kind": "run"}\n')
+        assert main([
+            "obs", "timeline", str(path),
+            "--out", str(tmp_path / "trace.json"),
+        ]) == 1
+        assert "no span or event records" in capsys.readouterr().err
+
+    def trend_ledger(self, tmp_path, elapsed_series):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        for elapsed in elapsed_series:
+            ledger.append({
+                "key": "k1", "workload": "html", "stack": "memento",
+                "source": "live", "elapsed_s": elapsed,
+                "counter_digest": "d0",
+            })
+        return ledger
+
+    def test_obs_trend_ok(self, tmp_path, capsys):
+        ledger = self.trend_ledger(tmp_path, [1.0, 1.0, 1.0])
+        assert main(["obs", "trend", "--ledger", str(ledger.path)]) == 0
+        assert "obs trend: ok" in capsys.readouterr().out
+
+    def test_obs_trend_fails_on_drift(self, tmp_path, capsys):
+        ledger = self.trend_ledger(tmp_path, [1.0, 1.0, 1.0, 1.0, 9.0])
+        assert main(["obs", "trend", "--ledger", str(ledger.path)]) == 1
+        captured = capsys.readouterr()
+        assert "TIME DRIFT" in captured.out
+        assert "obs trend: FAILED" in captured.err
+
+    def test_obs_trend_report_only_never_fails(self, tmp_path, capsys):
+        ledger = self.trend_ledger(tmp_path, [1.0, 1.0, 1.0, 1.0, 9.0])
+        assert main([
+            "obs", "trend", "--ledger", str(ledger.path), "--report-only",
+        ]) == 0
+        assert "report-only" in capsys.readouterr().out
+
+    def test_obs_trend_empty_ledger_is_ok(self, tmp_path, capsys):
+        assert main([
+            "obs", "trend", "--ledger", str(tmp_path / "absent.jsonl"),
+        ]) == 0
+        assert "no entries" in capsys.readouterr().out
+
+    def test_report_warns_on_unknown_schema_lines(self, tmp_path, capsys):
+        ledger = self.trend_ledger(tmp_path, [1.0])
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "future", "schema": 99}\n')
+            handle.write("corrupt\n")
+        assert main(["obs", "report", "--ledger", str(ledger.path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 2 ledger line(s)" in captured.err
+        assert "run ledger" in captured.out
+
+
 # -- the repro.api facade -----------------------------------------------------
 
 
@@ -310,6 +452,8 @@ class TestApiFacade:
             "Tracer", "set_tracer", "get_tracer", "render_span_tree",
             "MementoConfig", "MachineParams", "Stats", "EventRing",
             "RunResult", "WorkloadResult", "get_workload", "all_workloads",
+            "CycleProfile", "install_profile", "render_profile",
+            "export_timeline", "validate_trace_events", "check_trend",
         ):
             assert name in api.__all__, name
 
