@@ -48,6 +48,7 @@ from repro.analysis.characterize import (
 from repro.analysis.energy import EnergyModel
 from repro.analysis.pricing import PricingModel
 from repro.analysis.report import render_grouped, render_table
+from repro.audit import Auditor, install_audit
 from repro.core.errors import MementoError
 from repro.harness.engine import (
     DEFAULT_CACHE_DIR,
@@ -156,6 +157,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute simulated cycles to architectural components and "
         "print the breakdown (forces serial, cache-bypassing runs)",
     )
+    run_parser.add_argument(
+        "--audit", action="store_true",
+        help="check architectural invariants during the replay (forces "
+        "serial, cache-bypassing runs; nonzero exit on violations)",
+    )
+    run_parser.add_argument(
+        "--audit-epoch", choices=["event", "interval", "run"],
+        default="run", metavar="EPOCH",
+        help="when invariants are checked: event, interval, or run "
+        "(default: run)",
+    )
+    run_parser.add_argument(
+        "--audit-every", type=int, default=256, metavar="N",
+        help="events between checks for --audit-epoch interval "
+        "(default: 256)",
+    )
+    run_parser.add_argument(
+        "--diff", action="store_true",
+        help="also run the differential oracle on each workload/stack "
+        "(implies --audit; see `repro audit` for the standalone form)",
+    )
+    run_parser.add_argument(
+        "--diff-allocs", type=int, default=800, metavar="N",
+        help="trace size for the --diff lockstep legs (default: 800)",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     cache_parser = sub.add_parser(
@@ -211,6 +237,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="previous BENCH_*.json to compute per-key speedups against",
     )
     bench_parser.set_defaults(handler=cmd_bench)
+
+    audit_parser = sub.add_parser(
+        "audit", help="invariant checks + differential oracle"
+    )
+    audit_parser.add_argument("workloads", nargs="*", metavar="WORKLOAD")
+    audit_parser.add_argument(
+        "--workload", action="append", dest="named_workloads",
+        default=[], metavar="WORKLOAD",
+        help="workload to audit (repeatable; default: html)",
+    )
+    audit_parser.add_argument(
+        "--all", action="store_true", dest="audit_all",
+        help="audit every registered workload",
+    )
+    audit_parser.add_argument(
+        "--stack", choices=["both", "memento", "baseline"], default="both",
+        help="which allocator stack(s) to audit (default: both)",
+    )
+    audit_parser.add_argument(
+        "--epoch", choices=["event", "interval", "run"],
+        default="interval",
+        help="invariant-check epoch for the replay leg (default: interval)",
+    )
+    audit_parser.add_argument(
+        "--every", type=int, default=64, metavar="N",
+        help="events between interval-epoch checks (default: 64)",
+    )
+    audit_parser.add_argument(
+        "--diff", action="store_true",
+        help="run the differential oracle (lockstep vs naive reference, "
+        "bypass-soundness monitor, columnar cross-check)",
+    )
+    audit_parser.add_argument(
+        "--num-allocs", type=int, default=2000, metavar="N",
+        help="trace size per leg (default: 2000; 0 = the workload's "
+        "full size)",
+    )
+    audit_parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_out",
+        help="write the full audit report as JSON at PATH",
+    )
+    audit_parser.set_defaults(handler=cmd_audit)
 
     obs_parser = sub.add_parser(
         "obs", help="observability: run ledger, metrics, regression gate"
@@ -412,8 +480,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = list(args.workloads) + list(args.named_workloads)
     if args.run_all == bool(names):
         return _usage_error("run: name workloads or pass --all (not both)")
-    tracer = ring = profile = None
+    tracer = ring = profile = auditor = None
     previous_tracer = previous_ring = previous_profile = None
+    previous_audit = None
     if args.trace:
         tracer = Tracer()
         ring = EventRing(timestamps=True)
@@ -432,6 +501,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.no_cache = True
         profile = CycleProfile()
         previous_profile = install_profile(profile)
+    if args.diff:
+        args.audit = True
+    if args.audit:
+        # Same live-run constraint as --profile: worker processes and
+        # cache hits carry no auditor, so audited runs are serial and
+        # cache-bypassing.
+        if args.jobs > 1:
+            print(
+                "repro: --audit runs serially; ignoring --jobs",
+                file=sys.stderr,
+            )
+            args.jobs = 1
+        args.no_cache = True
+        auditor = Auditor(epoch=args.audit_epoch, every=args.audit_every)
+        previous_audit = install_audit(auditor)
     try:
         engine = _make_engine(args)
         specs = (
@@ -444,6 +528,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             install_ring(previous_ring)
         if args.profile:
             install_profile(previous_profile)
+        if args.audit:
+            install_audit(previous_audit)
     pricing = PricingModel()
     rows = []
     for result in results:
@@ -492,7 +578,128 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"(jobs={args.jobs})",
         file=sys.stderr,
     )
-    return 0
+    exit_code = 0
+    if auditor is not None:
+        print()
+        print(
+            f"audit: {auditor.checks} checks "
+            f"({auditor.epoch} epoch), "
+            f"{auditor.total_violations} violations"
+        )
+        for violation in auditor.violations:
+            print(f"  {violation}")
+        if auditor.total_violations:
+            exit_code = 1
+    if args.diff:
+        from repro.audit.oracle import run_diff
+
+        diff_specs = (
+            all_workloads()
+            if args.run_all
+            else [get_workload(name) for name in names]
+        )
+        print()
+        for spec in diff_specs:
+            for memento in (True, False):
+                report = run_diff(
+                    spec, memento, num_allocs=args.diff_allocs or None
+                )
+                _print_diff_line(report)
+                if not report.ok:
+                    exit_code = 1
+    return exit_code
+
+
+def _print_diff_line(report) -> None:
+    status = "ok" if report.ok else "DIVERGED"
+    print(
+        f"diff: {report.workload:<12} {report.stack:<8} "
+        f"{report.events:>6} events  {status}"
+    )
+    if report.divergence is not None:
+        print(f"  first divergence: {report.divergence}")
+        if report.minimized_events is not None:
+            print(
+                f"  minimized prefix: {report.minimized_events} events "
+                f"({report.minimized_divergence})"
+            )
+    for message in report.soundness[:5]:
+        print(f"  bypass-soundness: {message}")
+    for violation in report.invariant_findings[:5]:
+        print(f"  invariant: {violation}")
+    for mismatch in report.columnar_mismatches[:5]:
+        print(f"  columnar: {mismatch}")
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Standalone audit: an invariant-checked replay per workload/stack,
+    plus the differential oracle under ``--diff``. Builds systems
+    directly (no engine, no cache) so every leg is a live, instrumented
+    run; exits 1 when anything is found."""
+    import dataclasses
+    import json
+
+    from repro.audit.oracle import run_diff
+    from repro.harness.system import SimulatedSystem
+
+    names = list(args.workloads) + list(args.named_workloads)
+    if args.audit_all and names:
+        return _usage_error("audit: name workloads or pass --all (not both)")
+    if args.audit_all:
+        specs = all_workloads()
+    else:
+        specs = [get_workload(name) for name in (names or ["html"])]
+    stacks = {
+        "both": (True, False),
+        "memento": (True,),
+        "baseline": (False,),
+    }[args.stack]
+    num_allocs = args.num_allocs or None
+    findings = 0
+    payload = {"legs": [], "num_allocs": num_allocs, "epoch": args.epoch}
+    for spec in specs:
+        resolved = spec.resolved()
+        if num_allocs is not None:
+            resolved = dataclasses.replace(resolved, num_allocs=num_allocs)
+        for memento in stacks:
+            stack = "memento" if memento else "baseline"
+            auditor = Auditor(epoch=args.epoch, every=args.every)
+            previous = install_audit(auditor)
+            try:
+                system = SimulatedSystem(resolved, memento)
+                system.run()
+            finally:
+                install_audit(previous)
+            leg = {
+                "workload": spec.name,
+                "stack": stack,
+                "audit": auditor.summary(),
+            }
+            status = (
+                "ok"
+                if not auditor.total_violations
+                else f"{auditor.total_violations} violations"
+            )
+            print(
+                f"audit: {spec.name:<12} {stack:<8} "
+                f"{auditor.checks:>5} checks  {status}"
+            )
+            for violation in auditor.violations[:5]:
+                print(f"  {violation}")
+            findings += auditor.total_violations
+            if args.diff:
+                report = run_diff(resolved, memento)
+                _print_diff_line(report)
+                leg["diff"] = report.to_dict()
+                if not report.ok:
+                    findings += 1
+            payload["legs"].append(leg)
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    return 1 if findings else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:

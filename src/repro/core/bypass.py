@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.arena import ArenaHeader
+from repro.core.arena import HEADER_BYTES, ArenaHeader
 from repro.core.config import MementoConfig
 from repro.sim.cache import AccessResult
 from repro.sim.params import LINE_SIZE
@@ -65,9 +65,12 @@ class BypassEngine:
         """
         # (addr - va) // LINE_SIZE, inlined from header.body_line_index —
         # this runs once per simulated line touch on the Memento stack.
+        # Once the counter saturates it can no longer distinguish touched
+        # from untouched lines at or above COUNTER_MAX, so those lines
+        # must take the regular path (audit rule: bypass-soundness).
         line_index = (addr - header.va) >> 6
         if line_index >= header.bypass_counter:
-            bypassable = self.enabled
+            bypassable = self.enabled and line_index < COUNTER_MAX
             header.bypass_counter = (
                 line_index + 1 if line_index < COUNTER_MAX else COUNTER_MAX
             )
@@ -81,10 +84,36 @@ class BypassEngine:
         return core.caches.access(target, write=write)
 
     def on_free(self, header: ArenaHeader, addr: int, size: int) -> None:
-        """Shrink the counter when the top-most touched line frees up."""
+        """Shrink the counter when the top-most touched line frees up.
+
+        The decrement is bitmap-guided: the counter may only drop to just
+        past the last body line of the highest still-allocated slot (a
+        priority encode from the top of the bitmap in hardware). Dropping
+        to the freed object's first line — the previous behaviour — could
+        expose a boundary line shared with a live, written neighbour, and
+        a later re-allocation would then zero that neighbour's data
+        (audit rule: bypass-soundness). A saturated counter never shrinks:
+        past COUNTER_MAX the hardware has lost track of which high lines
+        were touched (audit rule: bypass-counter-saturation).
+        """
         if not self.enabled:
             return
+        counter = header.bypass_counter
+        if counter >= COUNTER_MAX:
+            return
         last_line = (addr + size - 1) // LINE_SIZE - header.va // LINE_SIZE
-        if last_line + 1 == header.bypass_counter:
-            header.bypass_counter = header.body_line_index(addr)
+        if last_line + 1 != counter:
+            return
+        top_slots = header.bitmap.bit_length()  # highest live slot + 1
+        if top_slots:
+            obj_size = header.obj_size
+            if not obj_size:
+                return  # no geometry recorded; keep the counter as-is
+            new_counter = (
+                (HEADER_BYTES + top_slots * obj_size - 1) // LINE_SIZE + 1
+            )
+        else:
+            new_counter = 1  # arena empty: every body line is dead
+        if new_counter < counter:
+            header.bypass_counter = new_counter
             self._counter_decrements.add()

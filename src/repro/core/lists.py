@@ -50,6 +50,10 @@ class ArenaList:
             )
         updates = 1  # head pointer
         header.list_name = self.name
+        # A header that last left a list through corrupted surgery could
+        # carry a stale prev; the head's prev must always be None
+        # (audit rule: arena-list-membership).
+        header.prev = None
         header.next = self.head
         if self.head is not None:
             self.head.prev = header
@@ -70,6 +74,16 @@ class ArenaList:
 
     def remove(self, header: ArenaHeader) -> int:
         """Unlink ``header``; returns the number of pointer updates."""
+        if header.list_name != self.name:
+            # Without this check a header parked on *another* list (or on
+            # no list, with a stale prev/next pair left over from a HOT
+            # fill) would be silently spliced out of the wrong list,
+            # corrupting both lists' lengths and linkage
+            # (audit rule: arena-list-membership).
+            raise ValueError(
+                f"arena {header.va:#x} is on list "
+                f"{header.list_name!r}, not {self.name!r}"
+            )
         updates = 0
         if header.prev is not None:
             header.prev.next = header.next

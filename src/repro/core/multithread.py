@@ -182,15 +182,20 @@ class MultiThreadMementoRuntime:
         # The header parks on the owner's available list so the owner's
         # next allocation of this class finds it through memory.
         entry = owner_alloc.hot.lookup(header.size_class)
-        if entry.valid and entry.header is header:
+        hot_resident = entry.valid and entry.header is header
+        index = header.object_index(addr, self.config)
+        was_full = header.is_full
+        # Clear the slot *before* parking the header on a list: pushing
+        # first would momentarily leave a full arena on the available
+        # list, and a double-free abort at clear_slot would leave it
+        # there permanently (audit rule: arena-list-membership).
+        if not header.clear_slot(index):
+            raise MementoDoubleFreeError(f"double free of {addr:#x}")
+        if hot_resident:
             owner_alloc.hot.entries[header.size_class].header = None
             owner_alloc.available[header.size_class].push_head(header)
             self.stats.add("hot_invalidations")
-        index = header.object_index(addr, self.config)
-        was_full = header.is_full
-        if not header.clear_slot(index):
-            raise MementoDoubleFreeError(f"double free of {addr:#x}")
-        if was_full and header.list_name == "full":
+        elif was_full and header.list_name == "full":
             # The freed slot makes the arena available again.
             owner_alloc.full[header.size_class].remove(header)
             owner_alloc.available[header.size_class].push_head(header)

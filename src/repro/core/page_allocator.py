@@ -230,6 +230,10 @@ class HardwarePageAllocator:
         if not self.pool:
             # Table growth can happen mid-walk; replenish against core 0.
             self._replenish(self.machine.core)
+            if not self.pool:
+                raise PoolExhaustedError(
+                    "OS could not replenish the page pool"
+                )
         pfn = self.pool.pop()
         self.machine.frames.move("memento", "kernel")
         self.stats.add("table_pages_created")
@@ -413,9 +417,11 @@ class HardwarePageAllocator:
         if leaf_pfns:
             self.machine.frames.move("user", "memento", len(leaf_pfns))
         # clear() already routed interior node frames through
-        # _free_table_page; the root page goes back too.
-        self._free_table_page(state.page_table.root.pfn)
-        state.page_table.table_pages -= 1
+        # _free_table_page; release_root() sends the root back the same
+        # way, keeping table_pages and the pool ledger in lockstep
+        # (audit rule: pool-balance) instead of split-brain manual
+        # accounting here.
+        state.page_table.release_root()
         for core_id in state.walker_cores:
             self.machine.cores[core_id].tlb.flush()
         core.charge(

@@ -539,24 +539,25 @@ class ExperimentEngine:
         """Append one run-ledger manifest for an emitted result."""
         if self.ledger is None:
             return
-        self.ledger.append(
-            obs_ledger.manifest(
-                key,
-                request.spec.name,
-                request.stack,
-                source,
-                elapsed,
-                {
-                    "total_cycles": result.total_cycles,
-                    "dram_bytes": result.dram_bytes,
-                    "stats": result.stats,
-                },
-                fingerprints={
-                    "source": source_fingerprint(),
-                    "cost_model": cost_model_fingerprint(self.cost_model),
-                },
-            )
+        entry = obs_ledger.manifest(
+            key,
+            request.spec.name,
+            request.stack,
+            source,
+            elapsed,
+            {
+                "total_cycles": result.total_cycles,
+                "dram_bytes": result.dram_bytes,
+                "stats": result.stats,
+            },
+            fingerprints={
+                "source": source_fingerprint(),
+                "cost_model": cost_model_fingerprint(self.cost_model),
+            },
         )
+        if getattr(result, "audit", None):
+            entry["audit"] = result.audit
+        self.ledger.append(entry)
         self.stats.add("engine.ledger.writes")
 
     def _emit(

@@ -242,6 +242,57 @@ def bench_profile_overhead(
     }
 
 
+def bench_audit_overhead(
+    workload: str = "html",
+    num_allocs: int = 4000,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """A/B the invariant auditor's replay cost.
+
+    Same protocol as :func:`bench_profile_overhead`, for the
+    :class:`repro.audit.Auditor` gate: disabled (no auditor installed —
+    the replay takes the packed columnar path untouched) vs enabled (an
+    interval-epoch auditor forcing the per-event audited dispatch plus
+    periodic rule evaluation). The disabled side is the "audit-disabled
+    replay within noise of the baseline" acceptance number.
+    """
+    from repro.audit import Auditor, install_audit
+
+    spec = dataclasses.replace(
+        get_workload(workload).resolved(), num_allocs=num_allocs
+    )
+    trace = generate_trace(spec)
+    trace.columnar()
+
+    def best_of(make_auditor) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            previous = install_audit(
+                make_auditor() if make_auditor is not None else None
+            )
+            try:
+                system = SimulatedSystem(spec, memento=True)
+                started = time.perf_counter()
+                system.run(trace)
+                elapsed = time.perf_counter() - started
+            finally:
+                install_audit(previous)
+            if elapsed < best:
+                best = elapsed
+        return best
+
+    disabled = best_of(None)
+    enabled = best_of(lambda: Auditor(epoch="interval", every=256))
+    return {
+        "workload": workload,
+        "num_allocs": num_allocs,
+        "repeats": repeats,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": enabled / disabled,
+    }
+
+
 def compare(
     current: Dict[str, Dict[str, Any]],
     reference: Dict[str, Dict[str, Any]],
@@ -290,6 +341,7 @@ def run_bench(
         payload["engine_cache"] = bench_engine_cache()
         payload["obs_overhead"] = bench_obs_overhead()
         payload["profile_overhead"] = bench_profile_overhead()
+        payload["audit_overhead"] = bench_audit_overhead()
     if compare_path is not None:
         reference = json.loads(Path(compare_path).read_text())
         ref_replay = reference.get("replay", reference)

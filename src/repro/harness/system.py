@@ -15,6 +15,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.allocators import ALLOCATOR_BY_LANGUAGE
 from repro.allocators.jemalloc import JemallocAllocator
+from repro.audit import invariants as audit_invariants
 from repro.obs import profile as obs_profile
 from repro.obs.tracing import get_tracer
 from repro.core.bypass import COUNTER_MAX
@@ -83,10 +84,20 @@ class RunResult:
     allocs: int = 0
     frees: int = 0
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Invariant-audit summary (None unless an auditor was installed).
+    audit: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON representation (the disk-cache payload format)."""
-        return asdict(self)
+        """Plain-JSON representation (the disk-cache payload format).
+
+        ``audit`` only appears when an auditor was installed, keeping
+        unaudited payloads (golden fixtures, cache entries, digests)
+        stable across the subsystem's introduction.
+        """
+        payload = asdict(self)
+        if payload.get("audit") is None:
+            payload.pop("audit", None)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -144,6 +155,10 @@ class SimulatedSystem:
         self._profile_ckpt = (
             self._profile.checkpoint() if self._profile is not None else None
         )
+        # Invariant auditor, captured at construction exactly like the
+        # profile/ring hooks: with none installed (the default) the replay
+        # paths below are byte-identical to an audit-free build.
+        self._audit = audit_invariants.AUDIT
         self.machine = machine or Machine(machine_params, cost_model)
         self.kernel = kernel or Kernel(self.machine)
         self.process = self.kernel.create_process()
@@ -449,14 +464,16 @@ class SimulatedSystem:
                         last_vpn = vpn
                     else:
                         tlb_hit.pending += 1
+                    # Saturated counters never bypass: past counter_max
+                    # the touched-line bound is unknown (bypass-soundness).
                     line_index = (vaddr - header_va) >> 6
                     if line_index >= header.bypass_counter:
+                        bypassable = enabled and line_index < counter_max
                         header.bypass_counter = (
                             line_index + 1
                             if line_index < counter_max
                             else counter_max
                         )
-                        bypassable = enabled
                     else:
                         bypassable = False
                     cache_addr = frame_base | (vaddr & page_mask)
@@ -534,8 +551,14 @@ class SimulatedSystem:
                 self._run_cold_start(trace)
             if profile is not None:
                 marks.append(("cold_start", self.core.cycles))
+            audit = self._audit
             packer = getattr(trace, "columnar", None)
-            columnar = packer() if packer is not None else None
+            # Event-epoch auditing needs per-event dispatch with check
+            # hooks, so the packed form is skipped entirely for it.
+            if audit is not None and audit.steps_events:
+                columnar = None
+            else:
+                columnar = packer() if packer is not None else None
             # The replay churns through dataclass records and OrderedDict
             # nodes fast enough to trip the cyclic collector thousands of
             # times per run; nothing in the simulator creates cycles
@@ -547,7 +570,9 @@ class SimulatedSystem:
                 gc.disable()
             try:
                 with tracer.span("replay", events=len(trace)):
-                    if columnar is not None:
+                    if audit is not None and audit.steps_events:
+                        allocs, frees = self._replay_audited(trace, audit)
+                    elif columnar is not None:
                         allocs, frees = self._replay_columnar(columnar)
                     else:
                         allocs, frees = self._replay_events(trace)
@@ -556,12 +581,18 @@ class SimulatedSystem:
                     gc.enable()
             if profile is not None:
                 marks.append(("replay", self.core.cycles))
+            # The per-run check fires before function exit: teardown
+            # destroys the structures the rules inspect.
+            if audit is not None:
+                audit.check(audit_invariants.AuditContext.from_system(self))
             if trace.category == "function":
                 self._function_exit()
             if profile is not None:
                 marks.append(("teardown", self.core.cycles))
             with tracer.span("stats.fold"):
                 result = self._collect(trace, allocs, frees)
+            if audit is not None:
+                result.audit = audit.summary()
             if profile is not None:
                 self._finish_profile(result, marks)
             run_span.set("total_cycles", result.total_cycles)
@@ -646,6 +677,10 @@ class SimulatedSystem:
             bypass_cycles = caches._r_bypass.cycles
             for kind, a, b, c, d in columns:
                 if kind == KIND_TOUCH:
+                    # The packed write column is an int array; rebool it
+                    # so cache dirty bits stay booleans on this path too
+                    # (audit rule: cache-writeback-ledger).
+                    d = d != 0
                     if b != 1:
                         touch_lines(a, b, c, d)
                         continue
@@ -661,14 +696,17 @@ class SimulatedSystem:
                     cache_addr = frame_base | (vaddr & _PAGE_MASK)
                     header = header_of(vaddr)
                     if header is not None:
+                        # Saturated counters never bypass (bypass-soundness).
                         line_index = (vaddr - header.va) >> 6
                         if line_index >= header.bypass_counter:
+                            bypassable = (
+                                bypass_enabled and line_index < COUNTER_MAX
+                            )
                             header.bypass_counter = (
                                 line_index + 1
                                 if line_index < COUNTER_MAX
                                 else COUNTER_MAX
                             )
-                            bypassable = bypass_enabled
                         else:
                             bypassable = False
                         if bypassable:
@@ -710,6 +748,9 @@ class SimulatedSystem:
             free = self.allocator.free
             for kind, a, b, c, d in columns:
                 if kind == KIND_TOUCH:
+                    # Rebool the packed write column — see the Memento
+                    # branch (audit rule: cache-writeback-ledger).
+                    d = d != 0
                     if b != 1:
                         touch_lines(a, b, c, d)
                         continue
@@ -749,6 +790,45 @@ class SimulatedSystem:
                     free(core, addr_of.pop(a))
                     del size_of[a]
                     frees += 1
+        return allocs, frees
+
+    def _replay_audited(self, events, audit) -> "tuple[int, int]":
+        """Per-event replay with invariant checks at the audit's epoch.
+
+        The dispatch mirrors ``_replay_events`` handler-for-handler; the
+        only additions are the event counter and the epoch hook. Runs
+        only when an auditor with a per-event/interval epoch is
+        installed, so the unaudited paths carry none of this.
+        """
+        allocs = frees = 0
+        addr_of = self._addr_of
+        size_of = self._size_of
+        touch_lines = self._touch_lines
+        core = self.core
+        dram = self.machine.dram
+        ctx = audit_invariants.AuditContext.from_system(self)
+        should_check = audit.should_check
+        check = audit.check
+        for index, event in enumerate(events):
+            kind = type(event)
+            if kind is Touch:
+                touch_lines(
+                    event.obj, event.lines, event.line_offset, event.write
+                )
+            elif kind is Compute:
+                core.charge(event.cycles, "app")
+                if event.dram_bytes:
+                    dram.record_bulk_bytes(event.dram_bytes)
+            elif kind is Alloc:
+                addr_of[event.obj] = self._malloc(event.size)
+                size_of[event.obj] = event.size
+                allocs += 1
+            elif kind is Free:
+                self._free(addr_of.pop(event.obj))
+                del size_of[event.obj]
+                frees += 1
+            if should_check(index):
+                check(ctx, index)
         return allocs, frees
 
     def _replay_events(self, events) -> "tuple[int, int]":

@@ -184,11 +184,28 @@ class PageTable:
             if level < LEVELS - 1:
                 for child in node.entries.values():
                     total += 1 + drop_children(child, level + 1)
-                    self._free_page(child.pfn)
+                    # Route through _drop_node so the node count and the
+                    # frame source stay in lockstep — a direct _free_page
+                    # with a bulk count adjustment afterwards is how the
+                    # two ledgers drift apart (audit rule: pool-balance).
+                    self._drop_node(child)
             return total
 
         interior = drop_children(self.root, 0)
-        self.table_pages -= interior
         self.mapped_pages = 0
         self.root.entries.clear()
         return freed_pfns, interior
+
+    def release_root(self) -> None:
+        """Return the root page to the frame source (final teardown).
+
+        Only legal on an empty table: callers must ``clear()`` (or unmap
+        everything) first. After this the table must not be used again.
+        Centralising the root teardown here keeps ``table_pages`` and the
+        frame source in lockstep (audit rule: pool-balance) instead of
+        each caller freeing the root frame and adjusting the counter by
+        hand.
+        """
+        if self.root.entries:
+            raise ValueError("release_root() on a non-empty page table")
+        self._drop_node(self.root)

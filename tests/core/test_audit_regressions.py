@@ -1,0 +1,206 @@
+"""Regression tests for bugs surfaced (or guarded) by the audit
+subsystem. Each test names the audit rule that flags the pre-fix
+behaviour, so a reintroduction fails here *and* in the audit tier."""
+
+import pytest
+
+from repro.audit import AuditContext
+from repro.audit.invariants import ArenaListMembership, PoolBalance
+from repro.core.arena import HEADER_BYTES, ArenaHeader
+from repro.core.bypass import COUNTER_MAX
+from repro.core.errors import MementoDoubleFreeError
+from repro.core.lists import ArenaList
+from repro.core.multithread import MultiThreadMementoRuntime
+from repro.core.config import MementoConfig
+from repro.core.page_allocator import HardwarePageAllocator
+from repro.kernel.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.params import LINE_SIZE
+
+
+# -- bypass-counter-saturation (11-bit counter, §3.3) ------------------------
+
+
+def test_saturated_counter_line_takes_regular_path(memento):
+    """Audit rule: bypass-counter-saturation / bypass-counter-range.
+
+    Pre-fix, a line at index >= COUNTER_MAX with a saturated counter was
+    still bypassed — but a saturated counter can no longer prove the line
+    untouched, so bypassing may zero live data.
+    """
+    machine, *_, runtime = memento
+    addr = runtime.malloc(64)
+    header = runtime.context.object_allocator.header_of(addr)
+    header.bypass_counter = COUNTER_MAX
+    engine = runtime.context.bypass
+    before = machine.stats["memento.bypass.bypassed_lines"]
+    engine.access(
+        machine.core,
+        header,
+        header.va + COUNTER_MAX * LINE_SIZE,
+        write=False,
+    )
+    assert machine.stats["memento.bypass.bypassed_lines"] == before
+    assert header.bypass_counter == COUNTER_MAX  # no 11-bit wraparound
+
+
+def test_counter_saturates_exactly_at_max(memento):
+    """Audit rule: bypass-counter-range (counter must stay in 11 bits)."""
+    machine, *_, runtime = memento
+    addr = runtime.malloc(64)
+    header = runtime.context.object_allocator.header_of(addr)
+    header.bypass_counter = COUNTER_MAX - 1
+    engine = runtime.context.bypass
+    engine.access(
+        machine.core,
+        header,
+        header.va + (COUNTER_MAX - 1) * LINE_SIZE,
+        write=False,
+    )
+    assert header.bypass_counter == COUNTER_MAX
+
+
+# -- bypass-soundness (bitmap-guided counter decrement on free) --------------
+
+
+def test_free_counter_drop_is_bitmap_guided(memento):
+    """Audit rule: bypass-soundness.
+
+    Two 48-byte objects share the cache line at their boundary. Freeing
+    the higher one used to drop the counter to its *first* line — the
+    shared line — so a later re-allocation would bypass (zero) the
+    surviving neighbour's written data. The decrement must stop at the
+    line just past the highest still-allocated slot.
+    """
+    *_, runtime = memento
+    a = runtime.malloc(48)
+    b = runtime.malloc(48)
+    allocator = runtime.context.object_allocator
+    header = allocator.header_of(a)
+    assert allocator.header_of(b) is header  # same arena, adjacent slots
+    obj = header.obj_size
+    assert obj == 48
+    runtime.access_object(a, write=True)
+    runtime.access_object(b + obj - 1, write=True)  # top touched line
+    last_line_b = (b - header.va + obj - 1) >> 6
+    assert header.bypass_counter == last_line_b + 1
+    runtime.free(b)
+    # Bitmap-guided floor: just past slot a's last body line.
+    expected = (HEADER_BYTES + obj - 1) // LINE_SIZE + 1
+    naive = (b - header.va) >> 6  # the pre-fix drop target
+    assert expected > naive
+    assert header.bypass_counter == expected
+
+
+# -- arena-list-membership (list surgery bookkeeping) ------------------------
+
+
+def make_header(va, size_class=5):
+    return ArenaHeader(va=va, size_class=size_class, pa=va, objects=4)
+
+
+def test_remove_rejects_header_on_another_list():
+    """Audit rule: arena-list-membership.
+
+    Pre-fix, ``remove`` silently spliced a header out of whichever list
+    its prev/next happened to point into, corrupting both lists.
+    """
+    stats = Machine().stats
+    available = ArenaList("available", stats.scoped("t.available"))
+    full = ArenaList("full", stats.scoped("t.full"))
+    header = make_header(0x1000)
+    available.push_head(header)
+    with pytest.raises(ValueError):
+        full.remove(header)
+    with pytest.raises(ValueError):
+        full.remove(make_header(0x2000))  # unlisted header
+    assert len(available) == 1 and available.head is header
+
+
+def test_push_head_resets_stale_prev_link():
+    """Audit rule: arena-list-membership (head's prev must be None)."""
+    stats = Machine().stats
+    lst = ArenaList("available", stats.scoped("t.stale"))
+    other = make_header(0x1000)
+    header = make_header(0x2000)
+    header.prev = other  # stale pointer from earlier corrupted surgery
+    lst.push_head(header)
+    assert header.prev is None
+    assert lst.head is header
+
+
+def mt_runtime(threads=2):
+    machine = Machine()
+    kernel = Kernel(machine)
+    process = kernel.create_process()
+    config = MementoConfig()
+    runtime = MultiThreadMementoRuntime(
+        kernel,
+        process,
+        HardwarePageAllocator(kernel, config),
+        num_threads=threads,
+        config=config,
+        cross_thread_mode="hardware",
+    )
+    return machine, runtime
+
+
+def test_remote_free_abort_leaves_lists_consistent():
+    """Audit rule: arena-list-membership.
+
+    The hardware remote-free path must clear the bitmap slot *before*
+    parking the header on a list: pre-fix, a double-free abort left the
+    still-full arena stranded on the available list.
+    """
+    machine, runtime = mt_runtime()
+    addr = runtime.malloc(0, 48)
+    runtime.free(1, addr)
+    with pytest.raises(MementoDoubleFreeError):
+        runtime.free(1, addr)
+    ctx = AuditContext(
+        machine,
+        memento=True,
+        config=runtime.config,
+        allocators=[state.allocator for state in runtime.threads],
+        page_allocator=runtime.page_allocator,
+    )
+    assert ArenaListMembership().check(ctx) == []
+
+
+# -- pool-balance (interior nodes reclaimed exactly once) --------------------
+
+
+def test_release_root_requires_empty_table(memento):
+    """Audit rule: pool-balance (root frame freed exactly once)."""
+    machine, kernel, process, runtime = memento
+    runtime.malloc(64)
+    state = runtime.context.page_allocator.state_of(process)
+    with pytest.raises(ValueError):
+        state.page_table.release_root()
+
+
+def test_pool_balance_across_populate_sweep(memento):
+    """Audit rule: pool-balance.
+
+    Pre-fix, ``clear()`` freed interior page-table nodes with a bulk
+    counter adjustment that drifted from the frame source, so a full
+    alloc/free/release sweep left ``table_pages`` out of lockstep with
+    the pool ledger.
+    """
+    machine, kernel, process, runtime = memento
+    addrs = [runtime.malloc(size) for size in (48, 128, 512) * 40]
+    for victim in addrs[::2]:
+        runtime.free(victim)
+    ctx = AuditContext(
+        machine,
+        memento=True,
+        config=runtime.config,
+        allocators=[runtime.context.object_allocator],
+        page_allocator=runtime.context.page_allocator,
+    )
+    assert PoolBalance().check(ctx) == []
+    released = runtime.context.page_allocator.release_process(
+        machine.core, process
+    )
+    assert released > 0
+    assert PoolBalance().check(ctx) == []

@@ -1,0 +1,78 @@
+"""Instrumentation rebinding and replay-path parity regressions.
+
+The replay hot paths are closure factories that bind observability and
+audit hooks at construction time. Two properties must hold:
+
+* after installing and uninstalling every hook, a fresh system replays
+  bit-identically to one that was never instrumented (no residue);
+* the packed columnar path and the event path leave identical simulator
+  state — including cache metadata invariants like boolean dirty bits
+  (audit rule: cache-writeback-ledger).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.audit import AuditContext, Auditor, install_audit
+from repro.audit.invariants import CacheWritebackLedger
+from repro.harness.system import SimulatedSystem
+from repro.obs.events import EventRing, install_ring
+from repro.obs.profile import CycleProfile, install_profile
+from repro.obs.tracing import Tracer, set_tracer
+from repro.workloads.registry import get_workload
+from repro.workloads.synth import generate_trace
+
+
+def small_spec(num_allocs=250):
+    return dataclasses.replace(
+        get_workload("html").resolved(), num_allocs=num_allocs
+    )
+
+
+def run_once(spec, memento):
+    return SimulatedSystem(spec, memento).run().to_dict()
+
+
+@pytest.mark.parametrize("memento", [True, False], ids=["memento", "baseline"])
+def test_rebinding_after_uninstall_is_bit_identical(memento):
+    spec = small_spec()
+    before = run_once(spec, memento)
+    previous_tracer = set_tracer(Tracer())
+    previous_ring = install_ring(EventRing())
+    previous_profile = install_profile(CycleProfile())
+    previous_audit = install_audit(Auditor(epoch="event"))
+    try:
+        instrumented = run_once(spec, memento)
+    finally:
+        set_tracer(previous_tracer)
+        install_ring(previous_ring)
+        install_profile(previous_profile)
+        install_audit(previous_audit)
+    after = run_once(spec, memento)
+    assert after == before
+    # The instrumented run simulates the same numbers too — hooks
+    # observe, never perturb.
+    instrumented.pop("audit", None)
+    assert instrumented == before
+
+
+@pytest.mark.parametrize("memento", [True, False], ids=["memento", "baseline"])
+def test_columnar_replay_keeps_boolean_dirty_bits(memento):
+    """Audit rule: cache-writeback-ledger.
+
+    The packed write column is an int64 array; pre-fix the columnar path
+    installed those ints as cache dirty bits where the event path
+    installs booleans, so the two paths left observably different
+    metadata.
+    """
+    spec = small_spec()
+    columnar = generate_trace(spec).columnar()
+    system = SimulatedSystem(spec, memento)
+    system._replay_columnar(columnar)
+    assert CacheWritebackLedger().check(AuditContext.from_system(system)) == []
+    caches = system.core.caches
+    for cache in (caches.l1d, caches.l2, caches.llc):
+        for cache_set in cache._sets:
+            for dirty in cache_set.values():
+                assert isinstance(dirty, bool)
