@@ -19,12 +19,23 @@ stable. Import from here in notebooks, downstream scripts, and docs::
 Everything in ``__all__`` is covered by the round-trip conventions
 documented in DESIGN.md: result/config objects expose
 ``to_dict``/``from_dict``, engines honor ``REPRO_CACHE_DIR`` /
-``REPRO_NO_CACHE`` / ``REPRO_NO_LEDGER``, and tracing defaults to the
-zero-cost null tracer.
+``REPRO_NO_CACHE`` / ``REPRO_NO_LEDGER`` / ``REPRO_BACKEND``, and
+tracing defaults to the zero-cost null tracer.
+
+The service surface is exported here too: ``ServiceClient`` (plus the
+one-liner ``submit``/``status``/``result`` helpers honoring
+``REPRO_SERVICE_URL``) talks to a ``repro serve`` instance, and
+``ExperimentServer``/``create_backend`` embed the service or its result
+store in-process.
 """
 
 from __future__ import annotations
 
+from repro.backends import (
+    ResultBackend,
+    backend_names,
+    create_backend,
+)
 from repro.core.config import MementoConfig
 from repro.harness.engine import (
     ExperimentEngine,
@@ -64,6 +75,15 @@ from repro.obs import (
     trend_by_key,
     validate_trace_events,
 )
+from repro.service import (
+    ExperimentServer,
+    JobFailed,
+    ServiceClient,
+    ServiceError,
+    run_request_from_wire,
+    run_request_to_wire,
+)
+from repro.service.client import result, status, submit
 from repro.sim.params import MachineParams
 from repro.sim.stats import Stats
 from repro.workloads.registry import all_workloads, get_workload
@@ -110,6 +130,19 @@ __all__ = [
     "trace_events",
     "trend_by_key",
     "validate_trace_events",
+    # service + result backends
+    "ExperimentServer",
+    "JobFailed",
+    "ResultBackend",
+    "ServiceClient",
+    "ServiceError",
+    "backend_names",
+    "create_backend",
+    "result",
+    "run_request_from_wire",
+    "run_request_to_wire",
+    "status",
+    "submit",
     # provenance / stats
     "Stats",
     "cost_model_fingerprint",

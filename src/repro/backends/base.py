@@ -1,0 +1,133 @@
+"""The result-backend contract.
+
+A :class:`ResultBackend` is the persistence layer behind the
+:class:`~repro.harness.engine.ExperimentEngine`'s content-addressed
+result store: a durable key/value map from content keys to
+JSON-serializable payload dicts. The engine owns the *semantics* of the
+payload (envelope schema, ``result`` body, invalidation fingerprints);
+a backend owns only storage, and every implementation must satisfy the
+same contract, enforced by ``tests/backends/test_backend_contract.py``:
+
+* ``get`` returns the stored payload dict, or ``None`` when the key is
+  absent **or the stored bytes are corrupt** — corrupt entries are
+  evicted on read so a later ``put`` starts clean.
+* ``put`` is atomic and last-writer-wins: a crashed or concurrent
+  writer can never leave a torn entry behind, and concurrent writers of
+  the same key leave one of the written payloads, intact.
+* ``delete`` is idempotent; ``clear`` empties the store and returns the
+  number of entries removed; ``keys`` lists stored content keys.
+* ``info`` reports at least ``backend``, ``path``, ``entries``, and
+  ``bytes`` (the CLI's ``repro cache info`` table).
+
+Backends are selected by name through :func:`create_backend` —
+``REPRO_BACKEND`` (or ``repro serve --backend``) picks ``json``
+(default, one file per key) or ``sqlite`` (one database file); the
+``memory`` backend backs tests and cache-less service deployments.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+#: Default on-disk store location (overridable via ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment variable naming the backend ``create_backend`` builds.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The backend used when neither the argument nor the env var names one.
+DEFAULT_BACKEND = "json"
+
+
+class ResultBackend(abc.ABC):
+    """Durable key/value store for result payload dicts."""
+
+    #: Registry name, set by each implementation.
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or ``None`` when absent or
+        corrupt (corrupt entries are evicted)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key`` (replacing any
+        previous entry)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present (idempotent)."""
+
+    @abc.abstractmethod
+    def keys(self) -> List[str]:
+        """Stored content keys, sorted."""
+
+    @abc.abstractmethod
+    def info(self) -> Dict[str, Any]:
+        """Storage summary: ``backend``, ``path``, ``entries``, ``bytes``."""
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            self.delete(key)
+            removed += 1
+        return removed
+
+    def close(self) -> None:
+        """Release held resources (a no-op for stateless backends)."""
+
+    def __enter__(self) -> "ResultBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+#: Name -> factory taking the store root directory.
+_REGISTRY: Dict[str, Callable[[Path], ResultBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[Path], ResultBackend]
+) -> None:
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_kind(kind: Optional[str] = None) -> str:
+    """The backend name to build: argument, ``REPRO_BACKEND``, default.
+
+    Raises :class:`ValueError` (the CLI's clean-usage-error type) for a
+    name no backend registered under.
+    """
+    resolved = kind or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if resolved not in _REGISTRY:
+        raise ValueError(
+            f"unknown result backend {resolved!r}; "
+            f"choose from {backend_names()}"
+        )
+    return resolved
+
+
+def create_backend(
+    kind: Optional[str] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> ResultBackend:
+    """Build the configured backend rooted at the cache directory.
+
+    ``kind`` falls back to ``REPRO_BACKEND`` then ``json``; ``cache_dir``
+    falls back to ``REPRO_CACHE_DIR`` then ``.repro-cache`` — the same
+    resolution order the engine and CLI use, so every entry point lands
+    on the same store.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return _REGISTRY[resolve_backend_kind(kind)](Path(cache_dir))

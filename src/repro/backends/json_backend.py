@@ -1,0 +1,103 @@
+"""JSON-file result backend: a flat directory of ``<key>.json`` artifacts.
+
+This is the original ``DiskCache`` store extracted behind the
+:class:`~repro.backends.base.ResultBackend` contract. One file per
+content key keeps entries independently inspectable (``cat`` a result,
+``rm`` a single key) and makes concurrent writers trivially safe: each
+``put`` writes to a private temp file and atomically renames it into
+place, so readers see either the old payload or the new one, never a
+torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.backends.base import ResultBackend, register_backend
+
+
+class JsonBackend(ResultBackend):
+    """One ``<content-key>.json`` file per entry under ``root``."""
+
+    kind = "json"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._evict(path)
+            return None
+        if not isinstance(payload, dict):
+            self._evict(path)
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist an entry (write-to-temp + rename), so a
+        crashed or concurrent writer can never leave a torn file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> None:
+        self._evict(self.path(key))
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def keys(self) -> List[str]:
+        return [path.stem for path in self.entries()]
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.entries():
+            self._evict(path)
+            removed += 1
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        entries = self.entries()
+        return {
+            "backend": self.kind,
+            "path": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+
+register_backend(JsonBackend.kind, JsonBackend)

@@ -1,0 +1,77 @@
+"""In-memory result backend: the contract's reference double.
+
+Entries live only as long as the process, which makes this backend the
+test double for the contract suite and the natural choice for service
+deployments that want the job queue without a persistent store
+(``REPRO_BACKEND=memory``). Payloads round-trip through JSON text just
+like the durable backends, so anything unserializable fails here too —
+the double never accepts what a real backend would reject — and stored
+entries are isolated from later mutation of the caller's dict.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.backends.base import ResultBackend, register_backend
+
+
+class MemoryBackend(ResultBackend):
+    """Process-local store of JSON-encoded entries."""
+
+    kind = "memory"
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        # ``root`` is accepted (and ignored) so the factory signature
+        # matches the durable backends.
+        self.root = Path(root) if root is not None else None
+        self._data: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            blob = self._data.get(key)
+        if blob is None:
+            return None
+        try:
+            payload = json.loads(blob)
+        except json.JSONDecodeError:
+            payload = None
+        if not isinstance(payload, dict):
+            self.delete(key)
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            self._data[key] = blob
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._data)
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = len(self._data)
+            self._data.clear()
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "backend": self.kind,
+                "path": "(memory)",
+                "entries": len(self._data),
+                "bytes": sum(len(blob) for blob in self._data.values()),
+            }
+
+
+register_backend(MemoryBackend.kind, MemoryBackend)

@@ -1,0 +1,126 @@
+"""SQLite result backend: every entry in one ``results.sqlite`` file.
+
+Trades the JSON backend's one-file-per-key inspectability for a single
+artifact that scales to many thousands of entries without directory
+churn. Writes ride SQLite's own transactional atomicity
+(``INSERT OR REPLACE`` inside an implicit transaction), so the contract's
+torn-write and concurrent-writer guarantees come from the database
+engine rather than rename tricks. Each call opens a short-lived
+connection — the backend object itself therefore carries no cross-thread
+state and is safe to share between the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from contextlib import closing
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.backends.base import ResultBackend, register_backend
+
+#: Database file inside the cache directory.
+DB_NAME = "results.sqlite"
+
+#: Seconds a writer waits on a locked database before failing.
+_BUSY_TIMEOUT_S = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    payload TEXT NOT NULL
+)
+"""
+
+
+class SqliteBackend(ResultBackend):
+    """All entries in one SQLite database under ``root``."""
+
+    kind = "sqlite"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.db_path = self.root / DB_NAME
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.db_path, timeout=_BUSY_TIMEOUT_S)
+        conn.execute(_SCHEMA)
+        return conn
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self.db_path.is_file():
+            return None
+        try:
+            with closing(self._connect()) as conn, conn:
+                row = conn.execute(
+                    "SELECT payload FROM results WHERE key = ?", (key,)
+                ).fetchone()
+        except sqlite3.Error:
+            return None
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except (json.JSONDecodeError, TypeError):
+            payload = None
+        if not isinstance(payload, dict):
+            self.delete(key)
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(payload, sort_keys=True)
+        with closing(self._connect()) as conn, conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results (key, payload) "
+                "VALUES (?, ?)",
+                (key, blob),
+            )
+
+    def delete(self, key: str) -> None:
+        if not self.db_path.is_file():
+            return
+        try:
+            with closing(self._connect()) as conn, conn:
+                conn.execute("DELETE FROM results WHERE key = ?", (key,))
+        except sqlite3.Error:
+            pass
+
+    def keys(self) -> List[str]:
+        if not self.db_path.is_file():
+            return []
+        try:
+            with closing(self._connect()) as conn, conn:
+                rows = conn.execute(
+                    "SELECT key FROM results ORDER BY key"
+                ).fetchall()
+        except sqlite3.Error:
+            return []
+        return [row[0] for row in rows]
+
+    def clear(self) -> int:
+        if not self.db_path.is_file():
+            return 0
+        with closing(self._connect()) as conn, conn:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+            conn.execute("DELETE FROM results")
+        return int(count)
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "backend": self.kind,
+            "path": str(self.db_path),
+            "entries": len(self.keys()),
+            "bytes": (
+                self.db_path.stat().st_size
+                if self.db_path.is_file()
+                else 0
+            ),
+        }
+
+
+register_backend(SqliteBackend.kind, SqliteBackend)

@@ -11,7 +11,11 @@ Commands:
   run's counters as Prometheus text plus a JSONL sidecar; ``--profile``
   attributes every simulated cycle to its architectural component and
   prints the Fig. 9-style breakdown (serial, cache-bypassing runs).
-* ``cache info|clear`` — inspect or empty the persistent result cache.
+* ``cache info|clear`` — inspect or empty the persistent result cache
+  (``--backend json|sqlite|memory`` selects the result backend).
+* ``serve`` — run the experiment service: a REST API over an async job
+  queue draining into the shared engine (submit/status/results,
+  ``/healthz``, ``/metrics``).
 * ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
 * ``sweep NAME`` — one sensitivity study (populate, multiprocess,
   tuning, fragmentation, coldstart, iso-storage, mallacc, ablation).
@@ -34,9 +38,11 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.analysis.characterize import (
     LIFETIME_BIN_LABELS,
@@ -49,13 +55,14 @@ from repro.analysis.energy import EnergyModel
 from repro.analysis.pricing import PricingModel
 from repro.analysis.report import render_grouped, render_table
 from repro.audit import Auditor, install_audit
+from repro.backends import backend_names, create_backend
 from repro.core.errors import MementoError
 from repro.harness.engine import (
     DEFAULT_CACHE_DIR,
-    DiskCache,
     ExperimentEngine,
     RunRequest,
     cost_model_fingerprint,
+    resolve_jobs,
     source_fingerprint,
 )
 from repro.harness.experiment import run_all, run_workload
@@ -192,7 +199,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
     )
+    cache_parser.add_argument(
+        "--backend", default=None, choices=backend_names(),
+        help="result backend (default: $REPRO_BACKEND or json)",
+    )
     cache_parser.set_defaults(handler=cmd_cache)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the experiment service (REST API + job queue)"
+    )
+    serve_parser.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="bind port, 0 for ephemeral (default: 8023)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine worker processes per request batch (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="job-queue worker threads (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--backend", default=None, choices=backend_names(),
+        help="result backend (default: $REPRO_BACKEND or json)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a persistent result store",
+    )
+    serve_parser.add_argument(
+        "--log-requests", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
 
     characterize_parser = sub.add_parser(
         "characterize", help="regenerate the §2.2 allocation study"
@@ -703,15 +751,81 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    cache = DiskCache(Path(_default_cache_dir(args.cache_dir)))
-    if args.action == "info":
-        info = cache.info()
-        rows = [[key, info[key]] for key in ("path", "entries", "bytes")]
-        rows.append(["source fingerprint", source_fingerprint()])
-        rows.append(["cost-model fingerprint", cost_model_fingerprint()])
-        print(render_table(["field", "value"], rows, title="result cache"))
-    else:
-        print(f"removed {cache.clear()} cache entries")
+    with create_backend(args.backend, _default_cache_dir(args.cache_dir)) as cache:
+        if args.action == "info":
+            info = cache.info()
+            rows = [
+                [key, info[key]]
+                for key in ("backend", "path", "entries", "bytes")
+            ]
+            rows.append(["source fingerprint", source_fingerprint()])
+            rows.append(["cost-model fingerprint", cost_model_fingerprint()])
+            print(render_table(["field", "value"], rows, title="result cache"))
+        else:
+            print(f"removed {cache.clear()} cache entries")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        ExperimentServer,
+    )
+    from repro.service.jobs import DEFAULT_WORKERS
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+        workers = resolve_jobs(
+            DEFAULT_WORKERS if args.workers is None else args.workers
+        )
+    except ValueError as exc:
+        return _usage_error(f"serve: {exc}")
+    port = DEFAULT_PORT if args.port is None else args.port
+    if not 0 <= port <= 65535:
+        return _usage_error(f"serve: port must be 0-65535, got {port}")
+    host = DEFAULT_HOST if args.host is None else args.host
+    if not host:
+        return _usage_error("serve: host must be non-empty")
+
+    engine = ExperimentEngine(
+        cache_dir=args.cache_dir,
+        jobs=jobs,
+        use_disk_cache=False if args.no_cache else None,
+        backend=args.backend,
+    )
+    server = ExperimentServer(
+        host=host,
+        port=port,
+        engine=engine,
+        workers=workers,
+        log_requests=args.log_requests,
+    )
+    backend_kind = engine.disk.kind if engine.disk is not None else "none"
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(backend={backend_kind} workers={workers} jobs={jobs})",
+        file=sys.stderr,
+    )
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    server.start()
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        server.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("repro serve: shut down cleanly", file=sys.stderr)
     return 0
 
 

@@ -25,7 +25,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -47,21 +46,34 @@ from repro.allocators import (
     MallaccAllocator,
     PymallocAllocator,
 )
+from repro.backends import (
+    DEFAULT_CACHE_DIR,
+    JsonBackend,
+    ResultBackend,
+    create_backend,
+)
 from repro.core.config import MementoConfig
 from repro.harness.system import RunResult, SimulatedSystem
 from repro.obs import ledger as obs_ledger
 from repro.obs.tracing import get_tracer
 from repro.sim.cycles import CostModel, DEFAULT_COSTS
-from repro.sim.params import MachineParams
+from repro.sim.params import CacheParams, MachineParams, TlbParams
 from repro.sim.stats import Stats
+from repro.workloads.profiles import LifetimeProfile
 from repro.workloads.synth import WorkloadSpec
 
 #: Bumped whenever the cache payload or key derivation changes shape;
 #: old artifacts simply stop matching and are re-simulated.
 SCHEMA_VERSION = 1
 
-#: Default on-disk cache location (overridable via ``REPRO_CACHE_DIR``).
-DEFAULT_CACHE_DIR = ".repro-cache"
+#: Version stamped into :meth:`RunRequest.to_dict` wire payloads.
+#: Version-0 payloads (written before the field existed) carry the same
+#: body and upgrade transparently in :meth:`RunRequest.from_dict`.
+REQUEST_SCHEMA_VERSION = 1
+
+#: Backwards-compatible alias: the JSON backend is the original
+#: ``DiskCache`` extracted behind the :class:`ResultBackend` contract.
+DiskCache = JsonBackend
 
 #: Named baseline-allocator overrides, so a request stays declarative
 #: (and picklable/hashable) instead of carrying a class object.
@@ -246,6 +258,122 @@ class RunRequest:
         """Run the simulation this request describes (no caching)."""
         return self.build_system(cost_model).run()
 
+    # -- wire schema -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned plain-JSON form (the service's wire schema).
+
+        Inverse of :meth:`from_dict`: a round-tripped request is equal
+        to the original — same fields, same hash, same content key — so
+        a run submitted over HTTP lands on the same cache entry as the
+        same request executed in-process.
+        """
+        return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
+            "spec": dataclasses.asdict(self.spec),
+            "memento": self.memento,
+            "config": dataclasses.asdict(self.config),
+            "machine_params": dataclasses.asdict(self.machine_params),
+            "cold_start": self.cold_start,
+            "mmap_populate": self.mmap_populate,
+            "allocator": self.allocator,
+            "allocator_kwargs": [
+                list(pair) for pair in self.allocator_kwargs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RunRequest":
+        """Rebuild a request from its :meth:`to_dict` form.
+
+        Tolerates version-0 payloads (no ``schema_version`` field — the
+        body is identical); rejects payloads from a newer schema or with
+        unknown fields, so wire/disk corruption fails loudly instead of
+        silently simulating the wrong thing.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("RunRequest payload must be an object")
+        data = dict(data)
+        version = data.pop("schema_version", 0)
+        if not isinstance(version, int) or version > (
+            REQUEST_SCHEMA_VERSION
+        ):
+            raise ValueError(
+                f"RunRequest schema_version {version!r} is newer than "
+                f"this reader understands ({REQUEST_SCHEMA_VERSION})"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunRequest fields: {sorted(unknown)}"
+            )
+        if "spec" not in data or "memento" not in data:
+            raise ValueError("RunRequest payload needs spec and memento")
+        return cls(
+            spec=_spec_from_dict(data["spec"]),
+            memento=bool(data["memento"]),
+            config=_config_from_dict(data.get("config")),
+            machine_params=_machine_from_dict(data.get("machine_params")),
+            cold_start=bool(data.get("cold_start", False)),
+            mmap_populate=bool(data.get("mmap_populate", False)),
+            allocator=data.get("allocator"),
+            allocator_kwargs=tuple(
+                (str(name), value)
+                for name, value in data.get("allocator_kwargs") or ()
+            ),
+        )
+
+
+def _checked_fields(
+    cls: type, data: Any, label: str
+) -> Dict[str, Any]:
+    """A copy of ``data`` verified to hold only ``cls`` field names."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{label} must be an object, got {data!r}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {label} fields: {sorted(unknown)}")
+    return dict(data)
+
+
+def _spec_from_dict(data: Any) -> WorkloadSpec:
+    body = _checked_fields(WorkloadSpec, data, "spec")
+    if body.get("lifetime") is not None:
+        body["lifetime"] = LifetimeProfile(
+            **_checked_fields(LifetimeProfile, body["lifetime"], "lifetime")
+        )
+    if body.get("size_modes") is not None:
+        body["size_modes"] = tuple(
+            (int(size), float(weight))
+            for size, weight in body["size_modes"]
+        )
+    return WorkloadSpec(**body)
+
+
+def _config_from_dict(data: Any) -> MementoConfig:
+    if data is None:
+        return MementoConfig()
+    return MementoConfig(**_checked_fields(MementoConfig, data, "config"))
+
+
+def _machine_from_dict(data: Any) -> MachineParams:
+    if data is None:
+        return MachineParams()
+    body = _checked_fields(MachineParams, data, "machine_params")
+    for name in ("l1d", "l1i", "l2", "llc"):
+        if isinstance(body.get(name), dict):
+            body[name] = CacheParams(
+                **_checked_fields(CacheParams, body[name], name)
+            )
+    for name in ("tlb_l1", "tlb_l2"):
+        if isinstance(body.get(name), dict):
+            body[name] = TlbParams(
+                **_checked_fields(TlbParams, body[name], name)
+            )
+    return MachineParams(**body)
+
 
 def _execute_remote(
     request: RunRequest,
@@ -260,82 +388,17 @@ def _execute_remote(
     return result.to_dict(), time.perf_counter() - started
 
 
-class DiskCache:
-    """Flat directory of ``<content-key>.json`` result artifacts."""
+def _envelope_ok(payload: Dict[str, Any]) -> bool:
+    """Validate a cache envelope (any backend).
 
-    def __init__(self, root: Path) -> None:
-        self.root = Path(root)
-
-    def path(self, key: str) -> Path:
-        return self.root / f"{key}.json"
-
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Load an entry, or None when absent/corrupt (corrupt entries
-        are deleted so the re-run can overwrite them cleanly)."""
-        path = self.path(key)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._evict(path)
-            return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != SCHEMA_VERSION
-            or "result" not in payload
-        ):
-            self._evict(path)
-            return None
-        return payload
-
-    def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically persist an entry (write-to-temp + rename), so a
-        crashed or concurrent writer can never leave a torn file."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=f".{key[:12]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, self.path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-
-    def _evict(self, path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
-
-    # -- maintenance -----------------------------------------------------
-
-    def entries(self) -> List[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*.json"))
-
-    def clear(self) -> int:
-        """Delete every artifact; returns the number removed."""
-        removed = 0
-        for path in self.entries():
-            self._evict(path)
-            removed += 1
-        return removed
-
-    def info(self) -> Dict[str, Any]:
-        entries = self.entries()
-        return {
-            "path": str(self.root),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
-        }
+    Version-0 envelopes spelled the version field ``schema``; the
+    current writer stamps ``schema_version`` (and keeps ``schema`` so
+    older readers skip cleanly rather than misread). Either spelling is
+    accepted at the current version; anything else — missing version,
+    other versions, no ``result`` body — is stale and gets re-simulated.
+    """
+    version = payload.get("schema_version", payload.get("schema"))
+    return version == SCHEMA_VERSION and "result" in payload
 
 
 class ExperimentEngine:
@@ -356,6 +419,7 @@ class ExperimentEngine:
         cost_model: Optional[CostModel] = None,
         progress: Optional[ProgressFn] = None,
         use_ledger: Optional[bool] = None,
+        backend: Any = None,
     ) -> None:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
@@ -371,7 +435,15 @@ class ExperimentEngine:
             )
         self.jobs = resolve_jobs(jobs)
         self.cost_model = cost_model or DEFAULT_COSTS
-        self.disk = DiskCache(Path(cache_dir)) if use_disk_cache else None
+        # ``backend`` names a registered result backend ("json",
+        # "sqlite", "memory") or is a ready ResultBackend instance;
+        # unset, the REPRO_BACKEND env var then the json default decide.
+        if not use_disk_cache:
+            self.disk: Optional[ResultBackend] = None
+        elif isinstance(backend, ResultBackend):
+            self.disk = backend
+        else:
+            self.disk = create_backend(backend, cache_dir)
         self.ledger = (
             obs_ledger.RunLedger(obs_ledger.default_ledger_path(cache_dir))
             if use_ledger
@@ -490,12 +562,17 @@ class ExperimentEngine:
         payload = self.disk.get(key)
         if payload is None:
             return None
+        if not _envelope_ok(payload):
+            # Readable storage holding a stale or foreign envelope:
+            # retire it and re-simulate.
+            self.disk.delete(key)
+            return None
         try:
             result = RunResult.from_dict(payload["result"])
         except (TypeError, ValueError):
             # Structurally valid JSON whose result no longer matches the
             # RunResult schema: treat as corrupt and re-simulate.
-            self.disk._evict(self.disk.path(key))
+            self.disk.delete(key)
             self.stats.add("engine.disk.corrupt")
             return None
         self.stats.add("engine.disk.hits")
@@ -517,6 +594,10 @@ class ExperimentEngine:
                 self.disk.put(
                     key,
                     {
+                        # Both spellings: ``schema_version`` is the
+                        # explicit field, ``schema`` keeps version-0
+                        # readers skipping (not misreading) new entries.
+                        "schema_version": SCHEMA_VERSION,
                         "schema": SCHEMA_VERSION,
                         "key": key,
                         "workload": request.spec.name,

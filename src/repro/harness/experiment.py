@@ -14,7 +14,6 @@ computed in parallel.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -164,21 +163,20 @@ class WorkloadResult:
         }
 
 
-def _deprecated_positional(deprecated: tuple, cold_start: bool) -> bool:
-    if not deprecated:
-        return cold_start
-    if len(deprecated) > 1:
+def _reject_positional(name: str, rejected: tuple) -> None:
+    """The PR 1 deprecation, completed: positional flags now fail fast.
+
+    A bare ``*`` would raise Python's generic "takes 1 positional
+    argument" message; catching the arguments instead lets the error
+    name the new signature.
+    """
+    if rejected:
         raise TypeError(
-            "run_workload/run_all accept at most one positional flag "
-            "(the deprecated cold_start); use keyword arguments"
+            f"{name}() no longer accepts positional "
+            "config/machine_params/cold_start arguments; call "
+            f"{name}(..., cold_start=..., config=..., "
+            "machine_params=...) with keywords"
         )
-    warnings.warn(
-        "passing cold_start positionally is deprecated; call "
-        "run_workload(spec, cold_start=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return bool(deprecated[0])
 
 
 def workload_requests(
@@ -208,7 +206,7 @@ def workload_requests(
 
 def run_workload(
     spec: WorkloadSpec,
-    *deprecated,
+    *rejected,
     cold_start: bool = False,
     config: Optional[MementoConfig] = None,
     machine_params: Optional[MachineParams] = None,
@@ -221,7 +219,7 @@ def run_workload(
     therefore share the cache) instead of silently falling outside the
     memoized path.
     """
-    cold_start = _deprecated_positional(deprecated, cold_start)
+    _reject_positional("run_workload", rejected)
     engine = engine or get_default_engine()
     baseline, memento, nobypass = engine.run_many(
         workload_requests(spec, cold_start, config, machine_params)
@@ -236,7 +234,7 @@ def run_workload(
 
 def run_all(
     specs: Optional[Sequence[WorkloadSpec]] = None,
-    *deprecated,
+    *rejected,
     cold_start: bool = False,
     config: Optional[MementoConfig] = None,
     machine_params: Optional[MachineParams] = None,
@@ -248,7 +246,7 @@ def run_all(
     The whole batch is handed to the engine at once, so with ``jobs > 1``
     independent runs fan out across worker processes.
     """
-    cold_start = _deprecated_positional(deprecated, cold_start)
+    _reject_positional("run_all", rejected)
     if specs is None:
         specs = (
             FUNCTION_WORKLOADS + DATAPROC_WORKLOADS + PLATFORM_WORKLOADS

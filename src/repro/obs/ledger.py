@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -62,6 +63,9 @@ def manifest(
 ) -> Dict[str, Any]:
     """Assemble one ledger line for an engine execution."""
     return {
+        # ``schema_version`` is the explicit field; ``schema`` stays so
+        # version-0 readers keep accepting (or cleanly skipping) lines.
+        "schema_version": SCHEMA_VERSION,
         "schema": SCHEMA_VERSION,
         "ts": time.time(),
         "key": key,
@@ -81,12 +85,18 @@ class RunLedger:
 
     def __init__(self, path) -> None:
         self.path = Path(path)
+        # Appends are serialized per ledger object: the service's worker
+        # threads share one engine (hence one ledger), and interleaved
+        # writes must never tear a JSONL line.
+        self._lock = threading.Lock()
 
     def append(self, entry: Mapping[str, Any]) -> None:
         """Append one manifest line (creating parents on first write)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
 
     def read(self) -> List[Dict[str, Any]]:
         """Every parseable manifest, oldest first (corrupt lines skipped)."""
@@ -97,9 +107,10 @@ class RunLedger:
 
         A line is skipped when it is not JSON, not an object, lacks the
         ``key`` field (pre-manifest experiments wrote bare summaries), or
-        declares a ``schema`` newer than this reader understands. Old
-        lines *without* a ``schema`` field are accepted as version 1 —
-        the ledger is append-only and must keep reading its own history.
+        declares a version newer than this reader understands
+        (``schema_version``, or the version-0 spelling ``schema``). Old
+        lines *without* either field are accepted as version 1 — the
+        ledger is append-only and must keep reading its own history.
         """
         entries: List[Dict[str, Any]] = []
         skipped = 0
@@ -119,7 +130,7 @@ class RunLedger:
             if not isinstance(entry, dict) or "key" not in entry:
                 skipped += 1
                 continue
-            schema = entry.get("schema", 1)
+            schema = entry.get("schema_version", entry.get("schema", 1))
             if not isinstance(schema, int) or schema > SCHEMA_VERSION:
                 skipped += 1
                 continue

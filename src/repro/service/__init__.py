@@ -1,0 +1,52 @@
+"""The experiment service: REST API, async job queue, wire schema.
+
+``repro serve`` turns the process-local :class:`ExperimentEngine` into a
+long-running service for many concurrent clients: submissions arrive
+over HTTP as versioned :class:`RunRequest` wire payloads, queue as jobs
+(``queued`` → ``running`` → ``done``/``failed``), drain into the shared
+engine (same memo, same result backend, same ledger), and stream back as
+:class:`RunResult` payloads bit-identical to in-process execution.
+"""
+
+from repro.service.app import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ExperimentServer,
+    ServiceState,
+)
+from repro.service.client import (
+    DEFAULT_SERVICE_URL,
+    JobFailed,
+    SERVICE_URL_ENV,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.jobs import DEFAULT_WORKERS, JOB_STATES, Job, JobQueue
+from repro.service.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    run_request_from_wire,
+    run_request_to_wire,
+    run_requests_from_wire,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_SERVICE_URL",
+    "DEFAULT_WORKERS",
+    "ExperimentServer",
+    "JOB_STATES",
+    "Job",
+    "JobFailed",
+    "JobQueue",
+    "SERVICE_URL_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceState",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "run_request_from_wire",
+    "run_request_to_wire",
+    "run_requests_from_wire",
+]

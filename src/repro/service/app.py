@@ -1,0 +1,394 @@
+"""The experiment service: a framework-light HTTP API over the engine.
+
+``repro serve`` wraps one shared :class:`ExperimentEngine` in a
+:class:`ThreadingHTTPServer` plus a thin method+regex router — no web
+framework in the hard dependency set (FastAPI is an optional extra; see
+:mod:`repro.service.fastapi_app`). Handlers are small *operation*
+functions taking the :class:`ServiceState` and returning
+``(status, payload)``; the stdlib handler and the FastAPI wrapper both
+dispatch into the same operations, so the two surfaces cannot drift.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /api/v1/runs`` — submit one run; 202 with the job id.
+* ``POST /api/v1/sweeps`` — submit ``{"requests": [...]}`` as one job.
+* ``GET /api/v1/jobs`` — every job, submission order.
+* ``GET /api/v1/jobs/<id>`` — job status and transition history.
+* ``GET /api/v1/jobs/<id>/result`` — 200 with results when done, 202
+  while queued/running, 500 when failed.
+* ``GET /api/v1/ledger?last=N`` — the run ledger's newest entries.
+* ``GET /api/v1/workloads`` — registered workload names.
+* ``GET /healthz`` — liveness plus queue/backend summary.
+* ``GET /metrics`` — engine + service counters, Prometheus text.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from re import Match, compile as re_compile
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.harness.engine import ExperimentEngine
+from repro.obs.metrics import render_prometheus
+from repro.service.jobs import DEFAULT_WORKERS, JobQueue
+from repro.service.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    run_requests_from_wire,
+)
+from repro.workloads.registry import all_workloads
+
+#: Default bind address for ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8023
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``(status, payload, content_type)`` — payload is a dict for JSON
+#: responses or pre-rendered text otherwise.
+Response = Tuple[int, Any, str]
+
+
+class ServiceState:
+    """Everything the operations need: engine, queue, uptime, counters."""
+
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        self.engine = engine
+        self.queue = JobQueue(engine, workers=workers)
+        self.started_s = time.time()
+        self._monotonic_start = time.monotonic()
+        self.requests_served = 0
+        self._lock = threading.Lock()
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._monotonic_start
+
+    def count_request(self) -> None:
+        with self._lock:
+            self.requests_served += 1
+
+    def close(self) -> None:
+        self.queue.shutdown()
+
+
+# -- operations ---------------------------------------------------------------
+
+
+def op_health(state: ServiceState) -> Response:
+    disk = state.engine.disk
+    return (
+        200,
+        {
+            "status": "ok",
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "uptime_s": state.uptime_s(),
+            "backend": disk.kind if disk is not None else "none",
+            "workers": state.queue.workers,
+            "jobs": state.queue.counts(),
+        },
+        _JSON,
+    )
+
+
+def op_metrics(state: ServiceState) -> Response:
+    """Engine + service counters in Prometheus exposition format."""
+    counts = state.queue.counts()
+    service_counters = {
+        "service.uptime_seconds": state.uptime_s(),
+        "service.http_requests": state.requests_served,
+        **{
+            f"service.jobs.{job_state}": count
+            for job_state, count in counts.items()
+        },
+    }
+    snapshots = [
+        {"labels": {"component": "service"}, "counters": service_counters},
+        {
+            "labels": {"component": "engine"},
+            # Seed the headline counter so the engine series exists (at
+            # zero) before the first run — scrapers see a stable shape.
+            "counters": {
+                "engine.requests": 0,
+                **state.engine.stats.snapshot(),
+            },
+        },
+    ]
+    return 200, render_prometheus(snapshots), _PROM
+
+
+def op_submit(state: ServiceState, body: Any, kind: str) -> Response:
+    requests = run_requests_from_wire(body)
+    if kind == "run" and len(requests) != 1:
+        raise WireError("POST /api/v1/runs takes exactly one run")
+    job = state.queue.submit(requests, kind=kind)
+    return (
+        202,
+        {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "job_id": job.id,
+            "state": job.state,
+            "status_url": f"/api/v1/jobs/{job.id}",
+            "result_url": f"/api/v1/jobs/{job.id}/result",
+        },
+        _JSON,
+    )
+
+
+def op_jobs(state: ServiceState) -> Response:
+    return (
+        200,
+        {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "jobs": [job.to_dict() for job in state.queue.jobs()],
+        },
+        _JSON,
+    )
+
+
+def op_job_status(state: ServiceState, job_id: str) -> Response:
+    job = state.queue.get(job_id)
+    if job is None:
+        return 404, {"error": f"unknown job {job_id!r}"}, _JSON
+    payload = job.to_dict()
+    payload["schema_version"] = WIRE_SCHEMA_VERSION
+    return 200, payload, _JSON
+
+
+def op_job_result(state: ServiceState, job_id: str) -> Response:
+    job = state.queue.get(job_id)
+    if job is None:
+        return 404, {"error": f"unknown job {job_id!r}"}, _JSON
+    if job.state == "failed":
+        return (
+            500,
+            {"error": job.error, "job": job.to_dict()},
+            _JSON,
+        )
+    if not job.finished:
+        payload = job.to_dict()
+        payload["schema_version"] = WIRE_SCHEMA_VERSION
+        return 202, payload, _JSON
+    payload = job.to_dict(include_results=True)
+    payload["schema_version"] = WIRE_SCHEMA_VERSION
+    return 200, payload, _JSON
+
+
+def op_ledger(state: ServiceState, last: int) -> Response:
+    ledger = state.engine.ledger
+    if ledger is None:
+        return (
+            200,
+            {"schema_version": WIRE_SCHEMA_VERSION, "entries": [],
+             "skipped": 0, "ledger": None},
+            _JSON,
+        )
+    entries, skipped = ledger.read_classified()
+    return (
+        200,
+        {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "ledger": str(ledger.path),
+            "entries": entries[-last:],
+            "skipped": skipped,
+        },
+        _JSON,
+    )
+
+
+def op_workloads(state: ServiceState) -> Response:
+    return (
+        200,
+        {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "workloads": [spec.name for spec in all_workloads()],
+        },
+        _JSON,
+    )
+
+
+# -- router -------------------------------------------------------------------
+
+RouteFn = Callable[[ServiceState, "Match[str]", Dict[str, List[str]], Any],
+                   Response]
+
+
+def _route(fn: Callable[..., Response]) -> RouteFn:
+    return fn
+
+
+ROUTES: List[Tuple[str, Any, RouteFn]] = [
+    ("GET", re_compile(r"^/healthz$"),
+     _route(lambda state, m, q, b: op_health(state))),
+    ("GET", re_compile(r"^/metrics$"),
+     _route(lambda state, m, q, b: op_metrics(state))),
+    ("POST", re_compile(r"^/api/v1/runs$"),
+     _route(lambda state, m, q, b: op_submit(state, b, "run"))),
+    ("POST", re_compile(r"^/api/v1/sweeps$"),
+     _route(lambda state, m, q, b: op_submit(state, b, "sweep"))),
+    ("GET", re_compile(r"^/api/v1/jobs$"),
+     _route(lambda state, m, q, b: op_jobs(state))),
+    ("GET", re_compile(r"^/api/v1/jobs/(?P<job_id>[0-9a-f]+)$"),
+     _route(lambda state, m, q, b: op_job_status(state, m["job_id"]))),
+    ("GET", re_compile(r"^/api/v1/jobs/(?P<job_id>[0-9a-f]+)/result$"),
+     _route(lambda state, m, q, b: op_job_result(state, m["job_id"]))),
+    ("GET", re_compile(r"^/api/v1/ledger$"),
+     _route(lambda state, m, q, b: op_ledger(
+         state, int(q.get("last", ["20"])[0])))),
+    ("GET", re_compile(r"^/api/v1/workloads$"),
+     _route(lambda state, m, q, b: op_workloads(state))),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Dispatches into the route table; all errors become JSON."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> ServiceState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if getattr(self.server, "log_requests", False):
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        self.state.count_request()
+        split = urlsplit(self.path)
+        query = parse_qs(split.query)
+        path_matched = False
+        for route_method, pattern, fn in ROUTES:
+            match = pattern.match(split.path)
+            if match is None:
+                continue
+            path_matched = True
+            if route_method != method:
+                continue
+            try:
+                body = self._read_body() if method == "POST" else None
+            except ValueError as exc:
+                self._send(400, {"error": str(exc)}, _JSON)
+                return
+            try:
+                status, payload, content_type = fn(
+                    self.state, match, query, body
+                )
+            except WireError as exc:
+                status, payload, content_type = 400, {
+                    "error": str(exc)
+                }, _JSON
+            except (KeyError, ValueError) as exc:
+                message = exc.args[0] if exc.args else str(exc)
+                status, payload, content_type = 400, {
+                    "error": str(message)
+                }, _JSON
+            except Exception as exc:  # noqa: BLE001 - boundary
+                status, payload, content_type = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }, _JSON
+            self._send(status, payload, content_type)
+            return
+        if path_matched:
+            self._send(
+                405, {"error": f"{method} not allowed here"}, _JSON
+            )
+        else:
+            self._send(
+                404, {"error": f"no route for {split.path}"}, _JSON
+            )
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body must be JSON")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+
+    def _send(self, status: int, payload: Any, content_type: str) -> None:
+        if content_type == _JSON:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        else:
+            data = str(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class ExperimentServer:
+    """The bound HTTP server plus its service state.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is on
+    ``.port``. ``start()`` serves from a background thread; ``stop()``
+    is idempotent and also drains the job queue — the clean-shutdown
+    path ``repro serve`` runs on SIGINT/SIGTERM.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        engine: Optional[ExperimentEngine] = None,
+        workers: int = DEFAULT_WORKERS,
+        log_requests: bool = False,
+    ) -> None:
+        self.state = ServiceState(
+            engine or ExperimentEngine(), workers=workers
+        )
+        self._http = ThreadingHTTPServer((host, port), _Handler)
+        self._http.daemon_threads = True
+        self._http.state = self.state  # type: ignore[attr-defined]
+        self._http.log_requests = log_requests  # type: ignore[attr-defined]
+        self.host, self.port = self._http.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        self._http.serve_forever()
+
+    def start(self) -> "ExperimentServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.state.close()
+
+    def __enter__(self) -> "ExperimentServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

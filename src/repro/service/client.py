@@ -1,0 +1,229 @@
+"""HTTP client for the experiment service.
+
+The scripting-side counterpart of ``repro serve``: submit a
+:class:`RunRequest` (or a wire dict), poll job status, and fetch results
+back as live :class:`RunResult` objects — stdlib ``urllib`` only, so the
+client rides along with the package everywhere the service does.
+
+::
+
+    from repro.api import RunRequest, ServiceClient, get_workload
+
+    client = ServiceClient("http://127.0.0.1:8023")
+    job_id = client.submit(RunRequest(get_workload("html"), memento=True))
+    results = client.results(job_id, timeout=300)
+
+``base_url`` falls back to ``REPRO_SERVICE_URL`` then the default bind
+of ``repro serve``; the module-level ``submit``/``status``/``result``
+helpers build a client per call from that resolution for one-liners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.harness.engine import RunRequest
+from repro.harness.system import RunResult
+from repro.service.app import DEFAULT_HOST, DEFAULT_PORT
+
+#: Environment variable naming the service the default client targets.
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+DEFAULT_SERVICE_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+class ServiceError(RuntimeError):
+    """A service response the client could not use."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class JobFailed(ServiceError):
+    """The submitted job reached the ``failed`` state."""
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one service instance."""
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = (
+            base_url
+            or os.environ.get(SERVICE_URL_ENV)
+            or DEFAULT_SERVICE_URL
+        ).rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                raw = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get(
+                    "error", ""
+                )
+            except Exception:  # noqa: BLE001 - best-effort detail
+                pass
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else ""),
+                status=exc.code,
+            )
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            )
+        if content_type.startswith("application/json"):
+            return json.loads(raw.decode("utf-8"))
+        return raw.decode("utf-8")
+
+    # -- API -------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def workloads(self) -> List[str]:
+        return self._request("GET", "/api/v1/workloads")["workloads"]
+
+    def submit(
+        self, request: Union[RunRequest, Dict[str, Any]]
+    ) -> str:
+        """Submit one run; returns the job id."""
+        body = (
+            request.to_dict()
+            if isinstance(request, RunRequest)
+            else dict(request)
+        )
+        return self._request("POST", "/api/v1/runs", body)["job_id"]
+
+    def submit_sweep(
+        self,
+        requests: Sequence[Union[RunRequest, Dict[str, Any]]],
+    ) -> str:
+        """Submit a request batch as one sweep job; returns the job id."""
+        body = {
+            "requests": [
+                item.to_dict() if isinstance(item, RunRequest) else dict(
+                    item
+                )
+                for item in requests
+            ]
+        }
+        return self._request("POST", "/api/v1/sweeps", body)["job_id"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's state, transitions, and provenance."""
+        return self._request("GET", f"/api/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/api/v1/jobs")["jobs"]
+
+    def ledger(self, last: int = 20) -> Dict[str, Any]:
+        return self._request("GET", f"/api/v1/ledger?last={last}")
+
+    def results(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> List[RunResult]:
+        """Poll until the job finishes; returns its results in order.
+
+        Raises :class:`JobFailed` when the job fails and
+        :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] == "done":
+                payload = self._request(
+                    "GET", f"/api/v1/jobs/{job_id}/result"
+                )
+                return [
+                    RunResult.from_dict(item)
+                    for item in payload["results"]
+                ]
+            if status["state"] == "failed":
+                raise JobFailed(
+                    f"job {job_id} failed: {status.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def result(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> RunResult:
+        """Like :meth:`results` for single-run jobs."""
+        results = self.results(job_id, timeout=timeout, poll_s=poll_s)
+        if len(results) != 1:
+            raise ServiceError(
+                f"job {job_id} holds {len(results)} results; "
+                "use results()"
+            )
+        return results[0]
+
+
+# -- one-liner helpers --------------------------------------------------------
+
+
+def submit(
+    request: Union[RunRequest, Dict[str, Any]],
+    base_url: Optional[str] = None,
+) -> str:
+    """Submit one run against the configured service."""
+    return ServiceClient(base_url).submit(request)
+
+
+def status(job_id: str, base_url: Optional[str] = None) -> Dict[str, Any]:
+    """Job status from the configured service."""
+    return ServiceClient(base_url).status(job_id)
+
+
+def result(
+    job_id: str,
+    base_url: Optional[str] = None,
+    timeout: float = 600.0,
+) -> RunResult:
+    """Block until a single-run job completes; returns its result."""
+    return ServiceClient(base_url).result(job_id, timeout=timeout)

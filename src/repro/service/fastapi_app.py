@@ -1,0 +1,114 @@
+"""Optional FastAPI surface over the same service operations.
+
+FastAPI is *not* a dependency of this package: the stdlib server in
+:mod:`repro.service.app` is the supported default, and this module
+imports ``fastapi`` lazily so environments without it lose nothing but
+this wrapper. When FastAPI (and an ASGI server) are installed, mount
+the app for OpenAPI docs, middleware, or an existing deployment
+substrate::
+
+    from repro.harness.engine import ExperimentEngine
+    from repro.service.app import ServiceState
+    from repro.service.fastapi_app import create_fastapi_app
+
+    state = ServiceState(ExperimentEngine())
+    app = create_fastapi_app(state)   # uvicorn module:app
+
+Every route delegates to the operation functions the stdlib router
+uses, so the two surfaces answer identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.service.app import (
+    ServiceState,
+    op_health,
+    op_job_result,
+    op_job_status,
+    op_jobs,
+    op_ledger,
+    op_metrics,
+    op_submit,
+    op_workloads,
+)
+from repro.service.wire import WireError
+
+
+def have_fastapi() -> bool:
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def create_fastapi_app(state: ServiceState) -> Any:
+    """Build a FastAPI app over ``state``; raises if FastAPI is absent."""
+    try:
+        from fastapi import FastAPI, Request, Response
+    except ImportError as exc:  # pragma: no cover - optional extra
+        raise RuntimeError(
+            "FastAPI is not installed; use the stdlib server "
+            "(repro serve) or `pip install fastapi`"
+        ) from exc
+
+    app = FastAPI(title="repro experiment service")
+
+    def _reply(result: tuple) -> Response:
+        import json
+
+        status, payload, content_type = result
+        body = (
+            json.dumps(payload, sort_keys=True)
+            if content_type.startswith("application/json")
+            else str(payload)
+        )
+        return Response(
+            content=body, status_code=status, media_type=content_type
+        )
+
+    @app.get("/healthz")
+    def healthz() -> Response:
+        return _reply(op_health(state))
+
+    @app.get("/metrics")
+    def metrics() -> Response:
+        return _reply(op_metrics(state))
+
+    @app.post("/api/v1/runs")
+    async def submit_run(request: Request) -> Response:
+        return _reply(_submit(await request.json(), "run"))
+
+    @app.post("/api/v1/sweeps")
+    async def submit_sweep(request: Request) -> Response:
+        return _reply(_submit(await request.json(), "sweep"))
+
+    def _submit(body: Any, kind: str) -> tuple:
+        try:
+            return op_submit(state, body, kind)
+        except WireError as exc:
+            return 400, {"error": str(exc)}, "application/json"
+
+    @app.get("/api/v1/jobs")
+    def jobs() -> Response:
+        return _reply(op_jobs(state))
+
+    @app.get("/api/v1/jobs/{job_id}")
+    def job_status(job_id: str) -> Response:
+        return _reply(op_job_status(state, job_id))
+
+    @app.get("/api/v1/jobs/{job_id}/result")
+    def job_result(job_id: str) -> Response:
+        return _reply(op_job_result(state, job_id))
+
+    @app.get("/api/v1/ledger")
+    def ledger(last: int = 20) -> Response:
+        return _reply(op_ledger(state, last))
+
+    @app.get("/api/v1/workloads")
+    def workloads() -> Response:
+        return _reply(op_workloads(state))
+
+    return app

@@ -1,0 +1,194 @@
+"""Async job queue draining submissions into the experiment engine.
+
+Every HTTP submission becomes a :class:`Job` — a request batch plus its
+lifecycle state (``queued`` → ``running`` → ``done``/``failed``) — on a
+FIFO queue that a pool of worker threads drains into one shared
+:class:`~repro.harness.engine.ExperimentEngine`. Sharing the engine is
+the point of the service: every client's runs land in the same
+in-process memo, the same result backend, and the same run ledger, so a
+result computed for one client is a cache hit for all. Worker threads
+hold no per-thread state; engine internals they touch concurrently (the
+memo dict, the atomic-write backends, the lock-guarded ledger) are safe
+under the GIL's dict-operation atomicity plus their own locking.
+
+Failures are per-job: a request batch that raises marks only its own job
+``failed`` (with the error message) and the worker moves on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.engine import ExperimentEngine, RunRequest, resolve_jobs
+
+#: The job lifecycle; ``done`` and ``failed`` are terminal.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Default worker threads draining the queue.
+DEFAULT_WORKERS = 2
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle, results, and provenance."""
+
+    id: str
+    kind: str  # "run" | "sweep"
+    requests: List[RunRequest]
+    state: str = "queued"
+    submitted_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    error: Optional[str] = None
+    #: Engine content keys, filled when the job completes.
+    keys: List[str] = field(default_factory=list)
+    #: ``RunResult.to_dict`` payloads in request order (``done`` only).
+    results: Optional[List[Dict[str, Any]]] = None
+    #: ``(state, unix-time)`` history, for transition assertions.
+    transitions: List[Tuple[str, float]] = field(default_factory=list)
+    _finished: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self.transitions.append((self.state, self.submitted_s))
+
+    def mark(self, state: str) -> None:
+        assert state in JOB_STATES, state
+        now = time.time()
+        self.state = state
+        self.transitions.append((state, now))
+        if state == "running":
+            self.started_s = now
+        elif state in ("done", "failed"):
+            self.finished_s = now
+            self._finished.set()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._finished.wait(timeout)
+
+    def to_dict(self, include_results: bool = False) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "requests": len(self.requests),
+            "workloads": [req.spec.name for req in self.requests],
+            "stacks": [req.stack for req in self.requests],
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "error": self.error,
+            "keys": list(self.keys),
+            "transitions": [list(step) for step in self.transitions],
+        }
+        if include_results:
+            payload["results"] = self.results
+        return payload
+
+
+class JobQueue:
+    """FIFO job queue with a worker-thread pool over one engine."""
+
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        self.engine = engine
+        self.workers = resolve_jobs(workers)
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._drain, name=f"repro-job-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, requests: Sequence[RunRequest], kind: str = "run"
+    ) -> Job:
+        """Enqueue a request batch; returns the queued :class:`Job`."""
+        if not requests:
+            raise ValueError("cannot submit an empty request batch")
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("job queue is shut down")
+            job = Job(
+                id=uuid.uuid4().hex[:12],
+                kind=kind,
+                requests=list(requests),
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        self._queue.put(job)
+        return job
+
+    # -- inspection ------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every job, submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (all states present, zeros kept)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    # -- execution -------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                break
+            job.mark("running")
+            try:
+                results = self.engine.run_many(job.requests)
+                job.keys = [
+                    request.content_key(self.engine.cost_model)
+                    for request in job.requests
+                ]
+                job.results = [result.to_dict() for result in results]
+                job.mark("done")
+            except Exception as exc:  # noqa: BLE001 - per-job isolation
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.mark("failed")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; drain workers (joining when ``wait``)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()

@@ -209,13 +209,19 @@ def test_cache_can_be_disabled(tmp_path):
 # ------------------------------------------------------------ API surface
 
 
-def test_positional_cold_start_deprecated(tmp_path):
+def test_positional_config_arguments_removed(tmp_path):
+    """The PR 1 deprecation completed: positional flags raise a
+    TypeError that names the keyword-only signature."""
+    from repro.harness.experiment import run_all
+
     engine = make_engine(tmp_path)
     spec = small(num_allocs=1_000)
-    with pytest.warns(DeprecationWarning):
-        legacy = run_workload(spec, True, engine=engine)
+    with pytest.raises(TypeError, match=r"run_workload\(.*cold_start"):
+        run_workload(spec, True, engine=engine)
+    with pytest.raises(TypeError, match=r"run_all\(.*cold_start"):
+        run_all([spec], True, engine=engine)
     modern = run_workload(spec, cold_start=True, engine=engine)
-    assert legacy.baseline is modern.baseline
+    assert modern.baseline.total_cycles > 0
 
 
 def test_keyword_config_changes_results(tmp_path):

@@ -93,6 +93,47 @@ def test_cache_info_and_clear(capsys, tmp_path, monkeypatch):
     assert "0" in capsys.readouterr().out
 
 
+def test_cache_sqlite_backend(capsys, tmp_path, monkeypatch):
+    from dataclasses import replace
+    import repro.cli as cli
+
+    original = cli.get_workload
+    monkeypatch.setattr(
+        cli, "get_workload",
+        lambda name: replace(original(name), num_allocs=1_000),
+    )
+    cache_dir = str(tmp_path / "cache")
+    monkeypatch.setenv("REPRO_BACKEND", "sqlite")
+    assert main(["run", "aes", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    # ``cache`` honors both the env var and the explicit flag.
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    assert "sqlite" in capsys.readouterr().out
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert main([
+        "cache", "clear", "--cache-dir", cache_dir, "--backend", "sqlite",
+    ]) == 0
+    assert "removed 3" in capsys.readouterr().out
+
+
+def test_serve_validates_arguments(capsys):
+    # Usage errors follow the exit-2 convention, before binding a port.
+    assert main(["serve", "--jobs", "0"]) == 2
+    assert "jobs" in capsys.readouterr().err
+    assert main(["serve", "--workers", "-1"]) == 2
+    assert "positive integer" in capsys.readouterr().err
+    assert main(["serve", "--port", "70000"]) == 2
+    assert "port" in capsys.readouterr().err
+    assert main(["serve", "--host", ""]) == 2
+    assert "host" in capsys.readouterr().err
+
+
+def test_serve_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--backend", "bogus"])
+
+
 def test_sweep_choices_validated():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sweep", "bogus"])
