@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.audit.invariants import AuditContext, Auditor, Violation
+from repro.harness import vector_kernel
 from repro.harness.system import SimulatedSystem
 from repro.sim.machine import Machine
 from repro.sim.params import PAGE_SHIFT, PAGE_SIZE
@@ -461,36 +462,49 @@ class DiffReport:
 def _compare_columnar(
     trace: Trace, spec: WorkloadSpec, memento: bool
 ) -> List[str]:
-    """Replay the same trace through the event path and the packed
-    columnar path on two fresh fast systems; the final stats must be
-    bit-identical (the columnar form is an encoding, not a model)."""
+    """Replay the same trace through the event path, the scalar packed
+    columnar path, and (when numpy is installed) the vectorized kernel,
+    on fresh fast systems; the final stats must be bit-identical (the
+    columnar form and the kernel are encodings, not models)."""
     stepped = SimulatedSystem(spec, memento)
     allocs, frees = stepped._replay_events(trace)
     if trace.category == "function":
         stepped._function_exit()
     stepped_result = stepped._collect(trace, allocs, frees)
 
-    packed = SimulatedSystem(spec, memento)
-    packed_result = packed.run(trace)
-
-    mismatches = []
-    stepped_stats = stepped_result.stats
-    packed_stats = packed_result.stats
-    for key in sorted(set(stepped_stats) | set(packed_stats)):
-        a = stepped_stats.get(key, 0)
-        b = packed_stats.get(key, 0)
-        if a != b:
-            mismatches.append(
-                f"stats[{key!r}]: events={a} columnar={b}"
+    legs = [
+        ("columnar", SimulatedSystem(spec, memento, replay_kernel="scalar"))
+    ]
+    if vector_kernel.numpy_available():
+        legs.append(
+            (
+                "vectorized",
+                SimulatedSystem(
+                    spec, memento, replay_kernel="vectorized"
+                ),
             )
-            if len(mismatches) >= 20:
-                mismatches.append("... (truncated)")
-                break
-    if stepped_result.total_cycles != packed_result.total_cycles:
-        mismatches.append(
-            f"total_cycles: events={stepped_result.total_cycles} "
-            f"columnar={packed_result.total_cycles}"
         )
+
+    mismatches: List[str] = []
+    stepped_stats = stepped_result.stats
+    for label, system in legs:
+        packed_result = system.run(trace)
+        packed_stats = packed_result.stats
+        for key in sorted(set(stepped_stats) | set(packed_stats)):
+            a = stepped_stats.get(key, 0)
+            b = packed_stats.get(key, 0)
+            if a != b:
+                mismatches.append(
+                    f"stats[{key!r}]: events={a} {label}={b}"
+                )
+                if len(mismatches) >= 20:
+                    mismatches.append("... (truncated)")
+                    return mismatches
+        if stepped_result.total_cycles != packed_result.total_cycles:
+            mismatches.append(
+                f"total_cycles: events={stepped_result.total_cycles} "
+                f"{label}={packed_result.total_cycles}"
+            )
     return mismatches
 
 

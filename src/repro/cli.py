@@ -67,6 +67,7 @@ from repro.harness.engine import (
 )
 from repro.harness.experiment import run_all, run_workload
 from repro.harness import sweeps
+from repro.harness.vector_kernel import KERNEL_CHOICES
 from repro.obs import (
     CycleProfile,
     EventRing,
@@ -74,6 +75,7 @@ from repro.obs import (
     Tracer,
     check_bench,
     check_ledger_determinism,
+    check_bench_trend,
     check_trend,
     default_ledger_path,
     event_record,
@@ -88,6 +90,7 @@ from repro.obs import (
     render_prometheus,
     render_span_tree,
     render_top_consumers,
+    render_bench_trend,
     render_trend,
     run_record,
     set_tracer,
@@ -145,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-cache", action="store_true",
         help="skip the persistent result cache",
+    )
+    run_parser.add_argument(
+        "--kernel", choices=list(KERNEL_CHOICES), default=None,
+        help="replay kernel (default: $REPRO_KERNEL or auto; results "
+        "are bit-identical either way)",
     )
     run_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -284,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", default=None, metavar="JSON",
         help="previous BENCH_*.json to compute per-key speedups against",
     )
+    bench_parser.add_argument(
+        "--kernel", choices=list(KERNEL_CHOICES), default=None,
+        help="replay kernel for the headline replay keys (default: "
+        "$REPRO_KERNEL or auto); the kernel A/B section always measures "
+        "both",
+    )
     bench_parser.set_defaults(handler=cmd_bench)
 
     audit_parser = sub.add_parser(
@@ -419,6 +433,16 @@ def build_parser() -> argparse.ArgumentParser:
     trend_parser.add_argument(
         "--threshold", type=float, default=50.0, metavar="PCT",
         help="min slowdown vs the key's median to flag (default: 50)",
+    )
+    trend_parser.add_argument(
+        "--bench-root", default=None, metavar="DIR",
+        help="directory holding committed BENCH_<date>.json files for "
+        "the events/s gate (default: current directory)",
+    )
+    trend_parser.add_argument(
+        "--bench-drop", type=float, default=None, metavar="PCT",
+        help="max events/s drop vs the bench-file median before the "
+        "throughput gate flags (default: 40)",
     )
     trend_parser.add_argument(
         "--report-only", action="store_true",
@@ -569,7 +593,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         specs = (
             None if args.run_all else [get_workload(name) for name in names]
         )
-        results = run_all(specs, cold_start=args.cold_start, engine=engine)
+        results = run_all(
+            specs,
+            cold_start=args.cold_start,
+            engine=engine,
+            kernel=args.kernel,
+        )
     finally:
         if args.trace:
             set_tracer(previous_tracer)
@@ -900,6 +929,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         num_allocs=args.num_allocs,
         workloads=args.workloads or None,
         compare_path=Path(args.compare) if args.compare else None,
+        kernel=args.kernel,
     )
     out = (
         Path(args.out)
@@ -944,9 +974,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"enabled {prof['enabled_seconds'] * 1e3:.1f} ms "
             f"({(prof['overhead_ratio'] - 1) * 100:+.1f}%)"
         )
+    if "kernels" in payload:
+        kernels = payload["kernels"]
+        if kernels["numpy"]:
+            rows = [
+                [
+                    key,
+                    f"{row['scalar_events_per_sec']:,.0f}",
+                    f"{row['vectorized_events_per_sec']:,.0f}",
+                    f"{row['speedup']:.3f}x",
+                    f"{row['segment']['compute_fraction']:.0%}",
+                ]
+                for key, row in sorted(kernels["keys"].items())
+            ]
+            print()
+            print(render_table(
+                ["workload/stack", "scalar ev/s", "vectorized ev/s",
+                 "speedup", "compute extracted"],
+                rows,
+                title="Kernel A/B (scalar vs vectorized)",
+            ))
+            print(
+                f"kernel A/B geomean: "
+                f"{kernels['geomean_speedup']:.3f}x"
+            )
+        else:
+            print(
+                "kernel A/B: numpy not installed; scalar only "
+                "(pip install -e .[fast])"
+            )
     if "comparison" in payload:
-        for key, ratio in sorted(payload["comparison"]["speedup"].items()):
-            print(f"  {key}: {ratio:.2f}x vs {payload['comparison']['reference']}")
+        comparison = payload["comparison"]
+        if comparison.get("warning"):
+            print(f"comparison: {comparison['warning']}")
+        else:
+            against = (
+                f"{comparison['reference']} "
+                f"({comparison.get('reference_date')}, "
+                f"{comparison.get('reference_fingerprint')})"
+            )
+            for key, ratio in sorted(comparison["speedup"].items()):
+                print(f"  {key}: {ratio:.2f}x vs {against}")
     print(f"wrote {out}")
     return 0
 
@@ -1230,13 +1298,32 @@ def cmd_obs_timeline(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_trend(args: argparse.Namespace) -> int:
+    from repro.obs.trend import DEFAULT_BENCH_DROP_PCT
+
     ledger = _ledger_at(args.ledger)
     report = check_trend(ledger, threshold_pct=args.threshold)
-    if not report["entries"]:
+    bench_report = check_bench_trend(
+        Path(args.bench_root) if args.bench_root else Path.cwd(),
+        drop_pct=(
+            args.bench_drop
+            if args.bench_drop is not None
+            else DEFAULT_BENCH_DROP_PCT
+        ),
+    )
+    if not report["entries"] and not bench_report["rows"]:
         print(f"obs trend: ledger has no entries ({ledger.path})")
         return 0
-    print(render_trend(report))
-    if report["ok"]:
+    if report["entries"]:
+        print(render_trend(report))
+    if bench_report["rows"]:
+        print()
+        print(
+            "Bench throughput "
+            f"({len(bench_report['files'])} committed files)"
+        )
+        print(render_bench_trend(bench_report))
+    ok = report["ok"] and bench_report["ok"]
+    if ok:
         print("obs trend: ok")
         return 0
     if args.report_only:

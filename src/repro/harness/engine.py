@@ -53,6 +53,7 @@ from repro.backends import (
     create_backend,
 )
 from repro.core.config import MementoConfig
+from repro.harness import vector_kernel
 from repro.harness.system import RunResult, SimulatedSystem
 from repro.obs import ledger as obs_ledger
 from repro.obs.tracing import get_tracer
@@ -197,6 +198,14 @@ class RunRequest:
     #: Keyword arguments for the override, as sorted key/value pairs so
     #: the request stays hashable.
     allocator_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Replay kernel choice (``scalar``/``vectorized``/``auto``). Both
+    #: kernels produce bit-identical results, so this is an execution
+    #: detail: it is excluded from the content key (a cached result
+    #: answers requests under either kernel). ``None`` means
+    #: unspecified — ``$REPRO_KERNEL`` if set, else ``auto`` (vectorized
+    #: when numpy is installed, scalar otherwise), resolved where the
+    #: run executes, which for pool fan-out is the worker process.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.allocator is not None and self.allocator not in (
@@ -208,6 +217,8 @@ class RunRequest:
             )
         if self.memento and self.allocator is not None:
             raise ValueError("allocator overrides apply to the baseline")
+        if self.kernel is not None:
+            vector_kernel.resolve_choice(self.kernel)
 
     @property
     def stack(self) -> str:
@@ -221,7 +232,9 @@ class RunRequest:
         regardless of the (unused) Memento config, so one baseline
         serves every ablation point of a config sweep.
         """
-        normalized = dataclasses.replace(self, spec=self.spec.resolved())
+        normalized = dataclasses.replace(
+            self, spec=self.spec.resolved(), kernel=None
+        )
         if not self.memento:
             normalized = dataclasses.replace(
                 normalized, config=MementoConfig()
@@ -251,6 +264,7 @@ class RunRequest:
             memento_config=self.config,
             mmap_populate=self.mmap_populate,
             cold_start=self.cold_start,
+            replay_kernel=self.kernel,
             **kwargs,
         )
 
@@ -280,6 +294,11 @@ class RunRequest:
             "allocator_kwargs": [
                 list(pair) for pair in self.allocator_kwargs
             ],
+            # Additive since the v1 schema froze: readers that predate it
+            # reject the unknown field loudly, current readers treat a
+            # missing one as unspecified (it never changes results or
+            # content keys).
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -321,6 +340,11 @@ class RunRequest:
             allocator_kwargs=tuple(
                 (str(name), value)
                 for name, value in data.get("allocator_kwargs") or ()
+            ),
+            kernel=(
+                None
+                if data.get("kernel") is None
+                else str(data["kernel"])
             ),
         )
 

@@ -19,7 +19,9 @@ previously written file.
 from __future__ import annotations
 
 import datetime
+import hashlib
 import json
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -27,11 +29,13 @@ from typing import Any, Dict, Iterable, Optional, Sequence
 
 import dataclasses
 
+from repro.harness import vector_kernel
 from repro.harness.engine import (
     ExperimentEngine,
     RunRequest,
     source_fingerprint,
 )
+from repro.harness.experiment import geometric_mean
 from repro.harness.system import SimulatedSystem
 from repro.obs.events import EventRing, install_ring
 from repro.obs.profile import CycleProfile, install_profile
@@ -56,21 +60,27 @@ def bench_replay(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     num_allocs: int = DEFAULT_NUM_ALLOCS,
     repeats: int = DEFAULT_REPEATS,
+    kernel: Optional[str] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Replay throughput per ``workload/stack`` key.
 
     Returns ``{key: {workload, stack, language, category, num_allocs,
-    events, repeats, seconds, events_per_sec}}`` with ``seconds`` the
-    best-of-``repeats`` wall time of one full replay.
+    events, repeats, seconds, events_per_sec, kernel}}`` with ``seconds``
+    the best-of-``repeats`` wall time of one full replay under the
+    resolved ``kernel`` (default: the same auto/``$REPRO_KERNEL``
+    resolution every other run uses).
     """
     results: Dict[str, Dict[str, Any]] = {}
     tracer = get_tracer()
+    resolved = vector_kernel.resolve_kernel(kernel)
     for name in workloads:
         spec = dataclasses.replace(
             get_workload(name).resolved(), num_allocs=num_allocs
         )
         trace = generate_trace(spec)
-        trace.columnar()  # pack once, outside every timed region
+        # Pack (and for the vectorized kernel, segment) once, outside
+        # every timed region.
+        trace.columnar().segments()
         events = len(trace.events)
         for memento in (False, True):
             best = float("inf")
@@ -79,7 +89,9 @@ def bench_replay(
                 stack="memento" if memento else "baseline",
             ):
                 for _ in range(max(1, repeats)):
-                    system = SimulatedSystem(spec, memento=memento)
+                    system = SimulatedSystem(
+                        spec, memento=memento, replay_kernel=resolved
+                    )
                     started = time.perf_counter()
                     system.run(trace)
                     elapsed = time.perf_counter() - started
@@ -96,8 +108,78 @@ def bench_replay(
                 "repeats": repeats,
                 "seconds": best,
                 "events_per_sec": events / best,
+                "kernel": resolved,
             }
     return results
+
+
+def bench_kernels(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    num_allocs: int = DEFAULT_NUM_ALLOCS,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, Any]:
+    """Scalar-vs-vectorized kernel A/B per ``workload/stack`` key.
+
+    Interleaves the two kernels repeat by repeat over the same packed
+    trace so they sample identical machine conditions. Each key records
+    both kernels' best events/s, the vectorized/scalar speedup, and the
+    trace's segment shape (share of compute events extracted at pack
+    time, surviving runs and their mean length) that bounds what the
+    vectorized kernel can save. Without numpy only the scalar side is
+    measured and ``geomean_speedup`` is null.
+    """
+    have_numpy = vector_kernel.numpy_available()
+    kernels = ("scalar", "vectorized") if have_numpy else ("scalar",)
+    keys: Dict[str, Any] = {}
+    speedups = []
+    for name in workloads:
+        spec = dataclasses.replace(
+            get_workload(name).resolved(), num_allocs=num_allocs
+        )
+        trace = generate_trace(spec)
+        segments = trace.columnar().segments()
+        events = len(trace.events)
+        runs = segments.runs()
+        for memento in (False, True):
+            best = {kernel: float("inf") for kernel in kernels}
+            for _ in range(max(1, repeats)):
+                for kernel in kernels:
+                    system = SimulatedSystem(
+                        spec, memento=memento, replay_kernel=kernel
+                    )
+                    started = time.perf_counter()
+                    system.run(trace)
+                    elapsed = time.perf_counter() - started
+                    if elapsed < best[kernel]:
+                        best[kernel] = elapsed
+            key = f"{name}/{'memento' if memento else 'baseline'}"
+            row: Dict[str, Any] = {
+                "events": events,
+                "scalar_events_per_sec": events / best["scalar"],
+                "segment": {
+                    "compute_extracted": events - len(segments.ops),
+                    "compute_fraction": 1 - len(segments.ops) / events,
+                    "runs": len(runs),
+                    "mean_run_length": (
+                        len(segments.ops) / len(runs) if runs else 0.0
+                    ),
+                },
+            }
+            if have_numpy:
+                row["vectorized_events_per_sec"] = (
+                    events / best["vectorized"]
+                )
+                row["speedup"] = best["scalar"] / best["vectorized"]
+                speedups.append(row["speedup"])
+            keys[key] = row
+    return {
+        "numpy": have_numpy,
+        "repeats": repeats,
+        "keys": keys,
+        "geomean_speedup": (
+            geometric_mean(speedups) if speedups else None
+        ),
+    }
 
 
 def bench_engine_cache(
@@ -312,6 +394,7 @@ def run_bench(
     num_allocs: Optional[int] = None,
     workloads: Optional[Iterable[str]] = None,
     compare_path: Optional[Path] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble the full benchmark payload (see module docstring)."""
     if smoke:
@@ -335,7 +418,8 @@ def run_bench(
                 "outside the timed region"
             ),
         },
-        "replay": bench_replay(names, num_allocs, repeats),
+        "replay": bench_replay(names, num_allocs, repeats, kernel),
+        "kernels": bench_kernels(names, num_allocs, repeats),
     }
     if not smoke:
         payload["engine_cache"] = bench_engine_cache()
@@ -343,14 +427,47 @@ def run_bench(
         payload["profile_overhead"] = bench_profile_overhead()
         payload["audit_overhead"] = bench_audit_overhead()
     if compare_path is not None:
-        reference = json.loads(Path(compare_path).read_text())
-        ref_replay = reference.get("replay", reference)
-        payload["comparison"] = {
-            "reference": str(compare_path),
-            "reference_date": reference.get("date"),
-            "speedup": compare(payload["replay"], ref_replay),
-        }
+        payload["comparison"] = _comparison(
+            payload["replay"], Path(compare_path)
+        )
     return payload
+
+
+def _comparison(
+    replay: Dict[str, Dict[str, Any]], compare_path: Path
+) -> Dict[str, Any]:
+    """Per-key speedups plus portable provenance for the reference.
+
+    The reference is identified by its recorded date and a content
+    fingerprint of the file's bytes — never by the path it happened to
+    be read from, which does not survive checkouts. A missing or
+    unreadable reference degrades to a warning entry instead of failing
+    the bench (CI passes historical files when it has them).
+    """
+    try:
+        blob = compare_path.read_bytes()
+        reference = json.loads(blob.decode("utf-8"))
+    except (OSError, ValueError) as exc:
+        print(
+            f"repro bench: reference {compare_path.name} unusable "
+            f"({exc}); skipping comparison",
+            file=sys.stderr,
+        )
+        return {
+            "reference": compare_path.name,
+            "warning": f"reference unusable: {exc}",
+            "speedup": {},
+        }
+    ref_replay = reference.get("replay", reference)
+    return {
+        "reference": compare_path.name,
+        "reference_date": reference.get("date"),
+        "reference_fingerprint": hashlib.sha256(blob).hexdigest()[:16],
+        "reference_source_fingerprint": reference.get(
+            "source_fingerprint"
+        ),
+        "speedup": compare(replay, ref_replay),
+    }
 
 
 def default_output_path(root: Path, smoke: bool = False) -> Path:

@@ -22,6 +22,7 @@ from repro.core.bypass import COUNTER_MAX
 from repro.core.config import MementoConfig
 from repro.core.page_allocator import HardwarePageAllocator
 from repro.core.runtime import MementoRuntime
+from repro.harness import vector_kernel
 from repro.kernel.kernel import Kernel
 from repro.sim.cycles import CostModel
 from repro.sim.machine import Machine
@@ -161,12 +162,24 @@ class SimulatedSystem:
         machine: Optional[Machine] = None,
         kernel: Optional[Kernel] = None,
         page_allocator: Optional[HardwarePageAllocator] = None,
+        replay_kernel: Optional[str] = None,
     ) -> None:
         """``machine``/``kernel``/``page_allocator`` may be supplied to
         co-locate several systems on shared hardware (the multi-process
-        study of §6.6); by default each system gets a private stack."""
+        study of §6.6); by default each system gets a private stack.
+
+        ``replay_kernel`` picks the replay implementation —
+        ``scalar``/``vectorized``/``auto`` (default: ``$REPRO_KERNEL``,
+        else ``auto``). Both kernels are bit-identical; see
+        :mod:`repro.harness.vector_kernel`."""
         self.spec = spec.resolved()
         self.memento = memento
+        self.replay_kernel_choice = vector_kernel.resolve_choice(
+            replay_kernel
+        )
+        self.replay_kernel = vector_kernel.resolve_kernel(
+            self.replay_kernel_choice
+        )
         # Cycle-attribution profile, bound before any component below is
         # constructed so their cells intern against it; the checkpoint
         # scopes this system's deltas (profiled systems must run
@@ -593,7 +606,15 @@ class SimulatedSystem:
                     if audit is not None and audit.steps_events:
                         allocs, frees = self._replay_audited(trace, audit)
                     elif columnar is not None:
-                        allocs, frees = self._replay_columnar(columnar)
+                        # Kernel choice changes only the iteration
+                        # structure — results are bit-identical (golden
+                        # fixtures + lockstep suite + oracle cross-check).
+                        if self.replay_kernel == "vectorized":
+                            allocs, frees = vector_kernel.replay(
+                                self, columnar
+                            )
+                        else:
+                            allocs, frees = self._replay_columnar(columnar)
                     else:
                         allocs, frees = self._replay_events(trace)
             finally:

@@ -1,0 +1,265 @@
+"""Batch replay kernel over the segmented columnar trace.
+
+``_replay_columnar`` (see :mod:`repro.harness.system`) decodes and
+dispatches every packed event inline. This kernel replays the memoized
+:class:`~repro.workloads.trace.SegmentIndex` instead: every compute
+event is extracted from the stream at pack time and folded once as an
+exact pre-reduced sum into the interned counter cells (22–31% of events
+on the generated workloads never reach the loop), and the surviving
+stream arrives fully pre-decoded — single-line touches pre-split into
+their own opcode, byte offsets premultiplied, write flags rebooled — so
+the per-event body does no operand arithmetic. All stateful edges —
+malloc/free, the TLB/L1 peeks, bypass decisions, page walks and faults —
+execute the very same closures the scalar kernel uses, in the very same
+order, so results are bit-identical by construction (pinned by the
+golden fixtures, the lockstep equivalence suite, and the differential
+oracle's cross-check).
+
+Kernel selection
+----------------
+
+``resolve_kernel(choice)`` maps ``{scalar, vectorized, auto}`` (argument,
+else ``$REPRO_KERNEL``, else ``auto``) to the kernel actually used.
+``vectorized`` requires numpy — the optional ``[fast]`` extra — which
+accelerates the one-time segmentation pass (vectorized change-point and
+prefix-sum math over zero-copy views of the packed columns); ``auto``
+silently resolves to ``scalar`` without it, and ``vectorized`` raises so
+an explicit request never silently degrades. Because both kernels produce
+bit-identical results, the engine's content keys exclude the choice: a
+cached result answers requests under either kernel.
+
+Why run-batching and not per-event state arrays: on the generated
+workloads, maximal same-kind runs are short (median 1–2 events — the
+generator interleaves alloc/touch/free tightly) and L1D miss rates run
+12–55%, so numpy state-array execution per run would pay ~30µs of array
+dispatch to replace ~2µs of scalar work, and optimistic all-hit batches
+would fall back constantly. The measured arithmetic lives in DESIGN.md
+§15. What does batch cleanly is everything order-independent: dispatch,
+operand decode, and compute-run accumulation, which this kernel hoists
+out of the per-event path entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.workloads.trace import OP_ALLOC, OP_FREE, OP_TOUCH_SINGLE
+from repro.core.bypass import COUNTER_MAX
+from repro.sim.params import PAGE_SHIFT, PAGE_SIZE
+
+try:  # pragma: no cover - import guard exercised by the no-numpy CI job
+    import numpy  # noqa: F401  (presence is the capability test)
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_NUMPY = False
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+#: Valid values for ``--kernel`` / ``$REPRO_KERNEL`` / RunRequest.kernel.
+KERNEL_CHOICES = ("scalar", "vectorized", "auto")
+
+ENV_VAR = "REPRO_KERNEL"
+
+
+def numpy_available() -> bool:
+    """Whether the ``[fast]`` extra (numpy) is importable."""
+    return _HAVE_NUMPY
+
+
+def resolve_choice(choice: Optional[str] = None) -> str:
+    """Validate a kernel choice, defaulting to ``$REPRO_KERNEL``/auto."""
+    if choice is None:
+        choice = os.environ.get(ENV_VAR) or "auto"
+    if choice not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown replay kernel {choice!r}; "
+            f"choose from {', '.join(KERNEL_CHOICES)}"
+        )
+    return choice
+
+
+def resolve_kernel(choice: Optional[str] = None) -> str:
+    """Map a choice to the kernel used: ``scalar`` or ``vectorized``.
+
+    ``auto`` selects ``vectorized`` exactly when numpy is importable; an
+    explicit ``vectorized`` without numpy raises rather than silently
+    running something else.
+    """
+    choice = resolve_choice(choice)
+    if choice == "vectorized":
+        if not _HAVE_NUMPY:
+            raise ValueError(
+                "the vectorized replay kernel needs numpy "
+                "(pip install -e .[fast]); "
+                "use --kernel auto to fall back silently"
+            )
+        return "vectorized"
+    if choice == "auto" and _HAVE_NUMPY:
+        return "vectorized"
+    return "scalar"
+
+
+def replay(system, columnar) -> "tuple[int, int]":
+    """Replay ``columnar`` through ``system`` over its segment index.
+
+    Mirrors ``SimulatedSystem._replay_columnar`` exactly on every
+    stateful path (same closures, same order, same counter cells); only
+    the iteration structure and the compute accounting differ, and the
+    latter is an exact refactoring of per-event sums (see the fold at
+    the end of this function).
+    """
+    segments = columnar.segments()
+    allocs = frees = 0
+    addr_of = system._addr_of
+    size_of = system._size_of
+    touch_lines = system._touch_lines
+    core = system.core
+    app_cell = core.cycle_counter("app")
+    dram = system.machine.dram
+    read_bytes = dram._read_bytes
+    read_lines = dram._read_lines
+    translate = system._translate
+    tlb_sets = system._tlb_l1_sets
+    tlb_nsets = system._tlb_l1_nsets
+    tlb_hit = system._tlb_l1_hit
+    l1_sets = system._cache_l1_sets
+    l1_nsets = system._cache_l1_nsets
+    l1_hit = system._cache_l1_hit
+    l1_hit_cycles = system._l1_hit_cycles
+    caches = core.caches
+    access_line = caches.access_line
+    touch_cycles = system._touch_cycles
+    page_shift = PAGE_SHIFT
+    page_mask = _PAGE_MASK
+    op_touch1 = OP_TOUCH_SINGLE
+    op_alloc = OP_ALLOC
+    op_free = OP_FREE
+    stream = zip(
+        segments.ops,
+        segments.f0,
+        segments.f1,
+        segments.f2,
+        segments.writes,
+    )
+
+    if system.memento:
+        malloc = system.runtime.malloc
+        free = system.runtime.free
+        header_of = system._header_of
+        bypass = system.runtime.context.bypass
+        bypass_enabled = bypass.enabled
+        bypassed_cell = bypass._bypassed_lines
+        regular_cell = bypass._regular_lines
+        instantiate = caches.instantiate
+        bypass_cycles = caches._r_bypass.cycles
+        counter_max = COUNTER_MAX
+        for op, a, b, c, d in stream:
+            if op == op_alloc:
+                addr_of[a] = malloc(b)
+                size_of[a] = b
+                allocs += 1
+            elif op == op_touch1:
+                vaddr = addr_of[a] + c
+                vpn = vaddr >> page_shift
+                tlb_set = tlb_sets[vpn % tlb_nsets]
+                if vpn in tlb_set:
+                    tlb_set.move_to_end(vpn)
+                    tlb_hit.pending += 1
+                    frame_base = tlb_set[vpn] << page_shift
+                else:
+                    frame_base = translate(vaddr) << page_shift
+                cache_addr = frame_base | (vaddr & page_mask)
+                header = header_of(vaddr)
+                if header is not None:
+                    # Saturated counters never bypass
+                    # (bypass-soundness, §3.3).
+                    line_index = (vaddr - header.va) >> 6
+                    if line_index >= header.bypass_counter:
+                        bypassable = (
+                            bypass_enabled and line_index < counter_max
+                        )
+                        header.bypass_counter = (
+                            line_index + 1
+                            if line_index < counter_max
+                            else counter_max
+                        )
+                    else:
+                        bypassable = False
+                    if bypassable:
+                        bypassed_cell.pending += 1
+                        instantiate(cache_addr, d)
+                        core.cycles += bypass_cycles
+                        touch_cycles.pending += bypass_cycles
+                        continue
+                    regular_cell.pending += 1
+                line = cache_addr >> 6
+                l1_set = l1_sets[line % l1_nsets]
+                if line in l1_set:
+                    l1_set.move_to_end(line)
+                    if d:
+                        l1_set[line] = True
+                    l1_hit.pending += 1
+                    total = l1_hit_cycles
+                else:
+                    total = access_line(line, d)[1]
+                core.cycles += total
+                touch_cycles.pending += total
+            elif op == op_free:
+                free(addr_of.pop(a))
+                del size_of[a]
+                frees += 1
+            else:  # OP_TOUCH_MULTI
+                touch_lines(a, b, c, d)
+    else:
+        malloc = system.allocator.malloc
+        free = system.allocator.free
+        for op, a, b, c, d in stream:
+            if op == op_alloc:
+                addr_of[a] = malloc(core, b)
+                size_of[a] = b
+                allocs += 1
+            elif op == op_touch1:
+                vaddr = addr_of[a] + c
+                vpn = vaddr >> page_shift
+                tlb_set = tlb_sets[vpn % tlb_nsets]
+                if vpn in tlb_set:
+                    tlb_set.move_to_end(vpn)
+                    tlb_hit.pending += 1
+                    frame_base = tlb_set[vpn] << page_shift
+                else:
+                    frame_base = translate(vaddr) << page_shift
+                line = (frame_base | (vaddr & page_mask)) >> 6
+                l1_set = l1_sets[line % l1_nsets]
+                if line in l1_set:
+                    l1_set.move_to_end(line)
+                    if d:
+                        l1_set[line] = True
+                    l1_hit.pending += 1
+                    total = l1_hit_cycles
+                else:
+                    total = access_line(line, d)[1]
+                core.cycles += total
+                touch_cycles.pending += total
+            elif op == op_free:
+                free(core, addr_of.pop(a))
+                del size_of[a]
+                frees += 1
+            else:  # OP_TOUCH_MULTI
+                touch_lines(a, b, c, d)
+
+    # The extracted compute events, folded once. Exact: integer
+    # cycle/byte sums commute, the dyadic bytes/64 line total is exactly
+    # representable at every partial sum, and nothing reads these cells
+    # (or core.cycles as a clock — allocator decay is retire-driven)
+    # until after replay.
+    cycles_sum = segments.compute_cycles
+    if cycles_sum:
+        core.cycles += cycles_sum
+        app_cell.pending += cycles_sum
+    bytes_sum = segments.compute_bytes
+    if bytes_sum:
+        read_bytes.pending += bytes_sum
+        read_lines.pending += bytes_sum / 64
+    return allocs, frees

@@ -68,7 +68,13 @@ from repro.obs.tracing import (
     render_span_tree,
     set_tracer,
 )
-from repro.obs.trend import check_trend, render_trend, trend_by_key
+from repro.obs.trend import (
+    check_bench_trend,
+    check_trend,
+    render_bench_trend,
+    render_trend,
+    trend_by_key,
+)
 
 __all__ = [
     "DEFAULT_THRESHOLD_PCT",
@@ -84,6 +90,7 @@ __all__ = [
     "Tracer",
     "check_bench",
     "check_ledger_determinism",
+    "check_bench_trend",
     "check_trend",
     "counter_digest",
     "default_ledger_path",
@@ -110,6 +117,7 @@ __all__ = [
     "span_record",
     "trace_events",
     "trend_by_key",
+    "render_bench_trend",
     "render_trend",
     "validate_trace_events",
     "write_jsonl",

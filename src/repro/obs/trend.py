@@ -19,10 +19,19 @@ two questions per key:
 
 ``check_trend`` aggregates per-key verdicts into a gate result the CLI
 turns into an exit code (`repro obs trend`, report-only in CI).
+
+A third gate rides the committed ``BENCH_<date>.json`` history instead
+of the ledger: :func:`check_bench_trend` compares each replay key's
+events/s in the newest bench file against the median of the older files
+and flags drops beyond a tolerance — throughput regressions land in the
+same `repro obs trend` exit code as wall-time and digest drift.
 """
 
 from __future__ import annotations
 
+import json
+import re
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.ledger import RunLedger
@@ -41,6 +50,14 @@ MAD_SCALE = 1.4826
 #: Fewer live samples than this and the timing test abstains (median and
 #: MAD of a couple of points carry no signal).
 MIN_SAMPLES = 3
+
+#: Latest bench events/s may fall this far below the historical median
+#: before the throughput gate flags. Generous on purpose: bench files
+#: are committed from whatever machine produced the PR, so
+#: cross-machine scatter is part of the series.
+DEFAULT_BENCH_DROP_PCT = 40.0
+
+_BENCH_PATTERN = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})\.json$")
 
 
 def median(values: Sequence[float]) -> float:
@@ -152,6 +169,129 @@ def check_trend(
         "skipped": skipped,
         "rows": rows,
     }
+
+
+def bench_history(root: Path) -> List[Dict[str, Any]]:
+    """Committed ``BENCH_<date>.json`` payloads under ``root``, oldest
+    first (smoke files and unparseable payloads are skipped)."""
+    files = sorted(
+        path
+        for path in root.glob("BENCH_*.json")
+        if _BENCH_PATTERN.match(path.name)
+    )
+    payloads: List[Dict[str, Any]] = []
+    for path in files:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(payload, dict) or "replay" not in payload:
+            continue
+        payload["_file"] = path.name
+        payloads.append(payload)
+    return payloads
+
+
+def bench_trend(
+    payloads: Sequence[Mapping[str, Any]],
+    drop_pct: float = DEFAULT_BENCH_DROP_PCT,
+    min_samples: int = MIN_SAMPLES,
+) -> List[Dict[str, Any]]:
+    """Per-replay-key throughput rows over the bench-file history.
+
+    Each row compares the newest file's events/s against the median of
+    the older files for that key; ``throughput_drift`` flags drops of
+    more than ``drop_pct`` percent. Keys with fewer than ``min_samples``
+    total points abstain, mirroring the wall-time gate. Only drops flag
+    — faster is good news, and a key absent from the newest file (bench
+    workload set changed) abstains rather than flags.
+    """
+    series: Dict[str, List[float]] = {}
+    for payload in payloads:
+        for key, row in payload.get("replay", {}).items():
+            value = row.get("events_per_sec")
+            if isinstance(value, (int, float)) and value > 0:
+                series.setdefault(key, []).append(float(value))
+    latest_keys = (
+        set(payloads[-1].get("replay", {})) if payloads else set()
+    )
+    rows: List[Dict[str, Any]] = []
+    for key, values in series.items():
+        row: Dict[str, Any] = {
+            "key": key,
+            "samples": len(values),
+            "throughput_drift": False,
+            "median_events_per_sec": None,
+            "latest_events_per_sec": None,
+            "change_pct": None,
+        }
+        if key in latest_keys and len(values) >= max(2, min_samples):
+            history, latest = values[:-1], values[-1]
+            center = median(history)
+            row["median_events_per_sec"] = center
+            row["latest_events_per_sec"] = latest
+            row["change_pct"] = (latest / center - 1.0) * 100.0
+            row["throughput_drift"] = latest < center * (
+                1.0 - drop_pct / 100.0
+            )
+        rows.append(row)
+    return rows
+
+
+def check_bench_trend(
+    root: Path,
+    drop_pct: float = DEFAULT_BENCH_DROP_PCT,
+    min_samples: int = MIN_SAMPLES,
+) -> Dict[str, Any]:
+    """Throughput gate over the committed bench files under ``root``.
+
+    ``{"ok": bool, "files": [...], "rows": [...]}`` — ``ok`` is False
+    when any replay key's newest events/s dropped more than ``drop_pct``
+    below its historical median. With fewer than two bench files the
+    gate abstains (``ok`` True, no rows).
+    """
+    payloads = bench_history(root)
+    rows = bench_trend(payloads, drop_pct, min_samples)
+    drifted = [row for row in rows if row["throughput_drift"]]
+    return {
+        "ok": not drifted,
+        "drop_pct": drop_pct,
+        "files": [payload["_file"] for payload in payloads],
+        "rows": rows,
+    }
+
+
+def render_bench_trend(report: Mapping[str, Any]) -> str:
+    """ASCII table of a :func:`check_bench_trend` report."""
+    rows = report.get("rows", [])
+    if not rows:
+        return "(no bench history)"
+    lines = [
+        f"{'workload/stack':<18} {'files':>5} {'median ev/s':>12} "
+        f"{'latest ev/s':>12} {'change':>8}  status"
+    ]
+    for row in rows:
+        med = row.get("median_events_per_sec")
+        latest = row.get("latest_events_per_sec")
+        change = row.get("change_pct")
+        if row.get("throughput_drift"):
+            status = "THROUGHPUT DRIFT"
+        elif med is None:
+            status = "(insufficient history)"
+        else:
+            status = "ok"
+        med_text = f"{med:>12,.0f}" if med is not None else f"{'-':>12}"
+        latest_text = (
+            f"{latest:>12,.0f}" if latest is not None else f"{'-':>12}"
+        )
+        change_text = (
+            f"{change:>+7.1f}%" if change is not None else f"{'-':>8}"
+        )
+        lines.append(
+            f"{str(row.get('key')):<18} {row.get('samples', 0):>5} "
+            f"{med_text} {latest_text} {change_text}  {status}"
+        )
+    return "\n".join(lines)
 
 
 def render_trend(report: Mapping[str, Any]) -> str:

@@ -1,0 +1,306 @@
+"""Vectorized replay kernel: selection, segmentation, and the lockstep
+equivalence suite.
+
+The contract under test is absolute: the vectorized kernel is an
+*encoding* of the scalar replay, not a model of it, so
+``RunResult.to_dict()`` — counters, digests, cycle totals, profile
+attribution — must be bit-identical between kernels on every workload
+and both stacks. Anything less is a correctness bug, not a tolerance.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.core.config import MementoConfig
+from repro.harness import vector_kernel
+from repro.harness.engine import RunRequest
+from repro.harness.system import SimulatedSystem
+from repro.obs.profile import CycleProfile, install_profile
+from repro.workloads.registry import all_workloads, get_workload
+from repro.workloads.synth import generate_trace
+from repro.workloads.trace import (
+    Alloc,
+    Compute,
+    Free,
+    KIND_ALLOC,
+    KIND_FREE,
+    KIND_TOUCH,
+    OP_ALLOC,
+    OP_FREE,
+    OP_TOUCH_MULTI,
+    OP_TOUCH_SINGLE,
+    SegmentIndex,
+    Touch,
+    Trace,
+    _segment_python,
+)
+
+HAVE_NUMPY = vector_kernel.numpy_available()
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="vectorized kernel needs numpy ([fast] extra)"
+)
+
+ALL_SPECS = [spec.resolved() for spec in all_workloads()]
+IDS = [spec.name for spec in ALL_SPECS]
+
+
+def run_result(spec, memento, kernel, trace=None, num_allocs=400):
+    spec = dataclasses.replace(spec, num_allocs=num_allocs)
+    if trace is None:
+        trace = generate_trace(spec)
+    system = SimulatedSystem(spec, memento=memento, replay_kernel=kernel)
+    return system.run(trace).to_dict()
+
+
+# -- kernel selection --------------------------------------------------------
+
+
+def test_resolve_choice_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown replay kernel"):
+        vector_kernel.resolve_choice("simd")
+
+
+def test_resolve_choice_defaults_to_env(monkeypatch):
+    monkeypatch.setenv(vector_kernel.ENV_VAR, "scalar")
+    assert vector_kernel.resolve_choice(None) == "scalar"
+    monkeypatch.delenv(vector_kernel.ENV_VAR)
+    assert vector_kernel.resolve_choice(None) == "auto"
+
+
+def test_explicit_choice_beats_env(monkeypatch):
+    monkeypatch.setenv(vector_kernel.ENV_VAR, "scalar")
+    assert vector_kernel.resolve_choice("auto") == "auto"
+
+
+def test_auto_without_numpy_resolves_scalar(monkeypatch):
+    monkeypatch.setattr(vector_kernel, "_HAVE_NUMPY", False)
+    assert vector_kernel.resolve_kernel("auto") == "scalar"
+    assert vector_kernel.resolve_kernel("scalar") == "scalar"
+
+
+def test_explicit_vectorized_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(vector_kernel, "_HAVE_NUMPY", False)
+    with pytest.raises(ValueError, match=r"\[fast\]"):
+        vector_kernel.resolve_kernel("vectorized")
+
+
+@needs_numpy
+def test_auto_with_numpy_resolves_vectorized():
+    assert vector_kernel.resolve_kernel("auto") == "vectorized"
+
+
+def test_system_honors_env(monkeypatch):
+    monkeypatch.setenv(vector_kernel.ENV_VAR, "scalar")
+    spec = dataclasses.replace(
+        get_workload("html").resolved(), num_allocs=50
+    )
+    system = SimulatedSystem(spec, memento=True)
+    assert system.replay_kernel == "scalar"
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def test_content_key_excludes_kernel():
+    spec = get_workload("html").resolved()
+    keys = {
+        RunRequest(spec=spec, memento=True, kernel=kernel).content_key()
+        for kernel in (None, "scalar", "vectorized", "auto")
+    }
+    assert len(keys) == 1
+
+
+def test_request_rejects_unknown_kernel():
+    spec = get_workload("html").resolved()
+    with pytest.raises(ValueError, match="unknown replay kernel"):
+        RunRequest(spec=spec, memento=True, kernel="simd")
+
+
+def test_request_round_trips_kernel():
+    spec = get_workload("html").resolved()
+    request = RunRequest(spec=spec, memento=False, kernel="scalar")
+    clone = RunRequest.from_dict(request.to_dict())
+    assert clone == request
+    assert clone.kernel == "scalar"
+    # Payloads that predate the field deserialize as unspecified.
+    legacy = request.to_dict()
+    del legacy["kernel"]
+    assert RunRequest.from_dict(legacy).kernel is None
+
+
+def test_build_system_threads_kernel():
+    spec = get_workload("html").resolved()
+    request = RunRequest(spec=spec, memento=True, kernel="scalar")
+    assert request.build_system().replay_kernel == "scalar"
+
+
+# -- segmentation ------------------------------------------------------------
+
+
+def make_trace(events, category="function"):
+    return Trace(
+        name="synthetic",
+        category=category,
+        language="python",
+        events=list(events),
+    )
+
+
+def test_segments_extract_compute_and_split_touches():
+    trace = make_trace([
+        Alloc(obj=0, size=4096),
+        Compute(cycles=10, dram_bytes=96),
+        Touch(obj=0, lines=1, line_offset=3, write=True),
+        Compute(cycles=5, dram_bytes=0),
+        Touch(obj=0, lines=4, line_offset=2, write=False),
+        Free(obj=0),
+    ])
+    segments = trace.columnar().segments()
+    assert segments.compute_cycles == 15
+    assert segments.compute_bytes == 96
+    assert segments.events == 6
+    assert segments.ops == [
+        OP_ALLOC, OP_TOUCH_SINGLE, OP_TOUCH_MULTI, OP_FREE
+    ]
+    # Single-line byte offset premultiplied; multi-line keeps line units.
+    assert segments.f2 == [0, 3 * 64, 2, 0]
+    assert segments.writes == [False, True, False, False]
+    assert all(isinstance(w, bool) for w in segments.writes)
+    assert segments.runs() == [
+        (OP_ALLOC, 1), (OP_TOUCH_SINGLE, 1),
+        (OP_TOUCH_MULTI, 1), (OP_FREE, 1),
+    ]
+
+
+def test_segments_memoized_and_empty_trace():
+    trace = make_trace([])
+    columnar = trace.columnar()
+    segments = columnar.segments()
+    assert segments is columnar.segments()
+    assert len(segments) == 0 and segments.runs() == []
+    assert segments.compute_cycles == 0
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", ["html", "Redis", "deploy"])
+def test_numpy_and_python_builders_agree(name):
+    spec = dataclasses.replace(
+        get_workload(name).resolved(), num_allocs=300
+    )
+    columnar = generate_trace(spec).columnar()
+    via_numpy = SegmentIndex.build(columnar)
+    fields = _segment_python(columnar)
+    assert via_numpy.ops == fields[0]
+    assert via_numpy.f0 == fields[1]
+    assert via_numpy.f1 == fields[2]
+    assert via_numpy.f2 == fields[3]
+    assert via_numpy.writes == fields[4]
+    assert via_numpy.compute_cycles == fields[5]
+    assert via_numpy.compute_bytes == fields[6]
+    assert all(isinstance(v, int) for v in via_numpy.ops)
+    assert all(isinstance(w, bool) for w in via_numpy.writes)
+
+
+# -- lockstep equivalence ----------------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "memento", [True, False], ids=["memento", "baseline"]
+)
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=IDS)
+def test_kernels_bit_identical_every_workload(spec, memento):
+    sized = dataclasses.replace(spec, num_allocs=400)
+    trace = generate_trace(sized)
+    scalar = run_result(spec, memento, "scalar", trace)
+    vectorized = run_result(spec, memento, "vectorized", trace)
+    assert json.dumps(scalar, sort_keys=True) == json.dumps(
+        vectorized, sort_keys=True
+    )
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [1, 7, 1234])
+def test_kernels_bit_identical_randomized_short_traces(seed):
+    rng = random.Random(seed)
+    spec = get_workload(rng.choice(["html", "Redis", "deploy"])).resolved()
+    spec = dataclasses.replace(
+        spec,
+        num_allocs=rng.randrange(20, 200),
+        seed=rng.randrange(1 << 30),
+    )
+    trace = generate_trace(spec)
+    for memento in (True, False):
+        scalar = run_result(
+            spec, memento, "scalar", trace, num_allocs=spec.num_allocs
+        )
+        vectorized = run_result(
+            spec, memento, "vectorized", trace, num_allocs=spec.num_allocs
+        )
+        assert scalar == vectorized
+
+
+@needs_numpy
+def test_kernels_identical_profile_attribution():
+    spec = dataclasses.replace(
+        get_workload("html").resolved(), num_allocs=400
+    )
+    trace = generate_trace(spec)
+    payloads = {}
+    for kernel in ("scalar", "vectorized"):
+        profile = CycleProfile()
+        previous = install_profile(profile)
+        try:
+            SimulatedSystem(
+                spec, memento=True, replay_kernel=kernel
+            ).run(trace)
+        finally:
+            install_profile(previous)
+        payloads[kernel] = profile.to_dict()
+    assert payloads["scalar"] == payloads["vectorized"]
+
+
+@needs_numpy
+def test_kernels_identical_nondefault_config():
+    spec = dataclasses.replace(
+        get_workload("Redis").resolved(), num_allocs=300
+    )
+    trace = generate_trace(spec)
+    config = MementoConfig(bypass_enabled=False)
+    results = {}
+    for kernel in ("scalar", "vectorized"):
+        system = SimulatedSystem(
+            spec,
+            memento=True,
+            memento_config=config,
+            replay_kernel=kernel,
+        )
+        results[kernel] = system.run(trace).to_dict()
+    assert results["scalar"] == results["vectorized"]
+
+
+# -- @audit tier: the full sweep under the vectorized kernel -----------------
+
+
+@needs_numpy
+@pytest.mark.audit
+@pytest.mark.parametrize(
+    "memento", [True, False], ids=["memento", "baseline"]
+)
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=IDS)
+def test_audit_sweep_vectorized_bit_identical(spec, memento):
+    sized = dataclasses.replace(spec, num_allocs=800)
+    trace = generate_trace(sized)
+    scalar = run_result(
+        spec, memento, "scalar", trace, num_allocs=800
+    )
+    vectorized = run_result(
+        spec, memento, "vectorized", trace, num_allocs=800
+    )
+    assert json.dumps(scalar, sort_keys=True) == json.dumps(
+        vectorized, sort_keys=True
+    )

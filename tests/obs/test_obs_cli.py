@@ -420,8 +420,48 @@ class TestProfileCli:
     def test_obs_trend_empty_ledger_is_ok(self, tmp_path, capsys):
         assert main([
             "obs", "trend", "--ledger", str(tmp_path / "absent.jsonl"),
+            "--bench-root", str(tmp_path),
         ]) == 0
         assert "no entries" in capsys.readouterr().out
+
+    @staticmethod
+    def write_bench(root, date, events_per_sec):
+        payload = {
+            "date": date,
+            "replay": {
+                "html/memento": {"events_per_sec": events_per_sec}
+            },
+        }
+        (root / f"BENCH_{date}.json").write_text(json.dumps(payload))
+
+    def test_obs_trend_gates_bench_throughput_drop(self, tmp_path, capsys):
+        for day, rate in (("01", 100e3), ("02", 102e3), ("03", 40e3)):
+            self.write_bench(tmp_path, f"2026-08-{day}", rate)
+        code = main([
+            "obs", "trend", "--ledger", str(tmp_path / "absent.jsonl"),
+            "--bench-root", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "THROUGHPUT DRIFT" in captured.out
+
+    def test_obs_trend_bench_within_tolerance_ok(self, tmp_path, capsys):
+        for day, rate in (("01", 100e3), ("02", 102e3), ("03", 95e3)):
+            self.write_bench(tmp_path, f"2026-08-{day}", rate)
+        assert main([
+            "obs", "trend", "--ledger", str(tmp_path / "absent.jsonl"),
+            "--bench-root", str(tmp_path),
+        ]) == 0
+        assert "Bench throughput" in capsys.readouterr().out
+
+    def test_obs_trend_bench_drift_report_only(self, tmp_path, capsys):
+        for day, rate in (("01", 100e3), ("02", 102e3), ("03", 40e3)):
+            self.write_bench(tmp_path, f"2026-08-{day}", rate)
+        assert main([
+            "obs", "trend", "--ledger", str(tmp_path / "absent.jsonl"),
+            "--bench-root", str(tmp_path), "--report-only",
+        ]) == 0
+        assert "report-only" in capsys.readouterr().out
 
     def test_report_warns_on_unknown_schema_lines(self, tmp_path, capsys):
         ledger = self.trend_ledger(tmp_path, [1.0])
