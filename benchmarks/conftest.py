@@ -9,12 +9,11 @@ result cache across sessions, and — with ``REPRO_JOBS=N`` — fans out
 across worker processes on the first (cold) run.
 """
 
-import os
-
 import pytest
 
-from repro.harness.engine import get_default_engine, resolve_jobs
+from repro.harness.engine import get_default_engine
 from repro.harness.experiment import run_all
+from repro.resolve import resolve_jobs
 from repro.workloads.registry import (
     DATAPROC_WORKLOADS,
     FUNCTION_WORKLOADS,
@@ -25,7 +24,7 @@ from repro.workloads.synth import generate_trace
 
 def _jobs() -> int:
     """Worker processes for the evaluation batch (``REPRO_JOBS``)."""
-    return resolve_jobs(os.environ.get("REPRO_JOBS", "1"))
+    return resolve_jobs()
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,12 @@ documented in DESIGN.md: result/config objects expose
 ``REPRO_NO_CACHE`` / ``REPRO_NO_LEDGER`` / ``REPRO_BACKEND``, and
 tracing defaults to the zero-cost null tracer.
 
+Fleet simulation is part of the same declarative request hierarchy:
+build a ``FleetRequest`` and hand it to ``simulate_fleet`` (in-process),
+``ServiceClient.submit_fleet`` (over HTTP), or ``repro fleet run`` (the
+CLI) — all three speak the identical versioned payload and agree on the
+request's content key.
+
 The service surface is exported here too: ``ServiceClient`` (plus the
 one-liner ``submit``/``status``/``result`` helpers honoring
 ``REPRO_SERVICE_URL``) talks to a ``repro serve`` instance, and
@@ -37,6 +43,12 @@ from repro.backends import (
     create_backend,
 )
 from repro.core.config import MementoConfig
+from repro.fleet import (
+    FleetRequest,
+    FleetResult,
+    render_fleet_report,
+    simulate_fleet,
+)
 from repro.harness.engine import (
     ExperimentEngine,
     RunRequest,
@@ -80,6 +92,8 @@ from repro.service import (
     JobFailed,
     ServiceClient,
     ServiceError,
+    fleet_request_from_wire,
+    fleet_request_to_wire,
     run_request_from_wire,
     run_request_to_wire,
 )
@@ -99,6 +113,11 @@ __all__ = [
     "get_default_engine",
     "run_all",
     "run_workload",
+    # fleet simulation
+    "FleetRequest",
+    "FleetResult",
+    "render_fleet_report",
+    "simulate_fleet",
     # configuration
     "MachineParams",
     "MementoConfig",
@@ -138,6 +157,8 @@ __all__ = [
     "ServiceError",
     "backend_names",
     "create_backend",
+    "fleet_request_from_wire",
+    "fleet_request_to_wire",
     "result",
     "run_request_from_wire",
     "run_request_to_wire",

@@ -16,6 +16,11 @@ Commands:
 * ``serve`` — run the experiment service: a REST API over an async job
   queue draining into the shared engine (submit/status/results,
   ``/healthz``, ``/metrics``).
+* ``fleet run`` — fleet-scale platform simulation: a seeded arrival
+  process over the workload registry drives a warm/cold instance pool;
+  epoch-sharded profile runs fan out through the engine and reduce into
+  cold-start percentiles, a memory-stranding timeline, and fleet DRAM
+  traffic for baseline vs. Memento.
 * ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
 * ``sweep NAME`` — one sensitivity study (populate, multiprocess,
   tuning, fragmentation, coldstart, iso-storage, mallacc, ablation).
@@ -37,7 +42,6 @@ by ``main``'s shared handler), 2 on a usage error.
 from __future__ import annotations
 
 import argparse
-import os
 import signal
 import sys
 import threading
@@ -57,15 +61,30 @@ from repro.analysis.report import render_grouped, render_table
 from repro.audit import Auditor, install_audit
 from repro.backends import backend_names, create_backend
 from repro.core.errors import MementoError
+from repro.fleet import (
+    MIXES,
+    PATTERNS,
+    POLICIES,
+    STACKS,
+    FleetRequest,
+    render_fleet_report,
+    simulate_fleet,
+)
 from repro.harness.engine import (
     DEFAULT_CACHE_DIR,
     ExperimentEngine,
     RunRequest,
     cost_model_fingerprint,
-    resolve_jobs,
     source_fingerprint,
 )
 from repro.harness.experiment import run_all, run_workload
+from repro.resolve import (
+    UsageError,
+    resolve_backend,
+    resolve_cache_dir,
+    resolve_jobs,
+    resolve_workers,
+)
 from repro.harness import sweeps
 from repro.harness.vector_kernel import KERNEL_CHOICES
 from repro.obs import (
@@ -142,8 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="include container setup (§6.6)",
     )
     run_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for independent runs (default: 1)",
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs "
+        "(default: $REPRO_JOBS or 1)",
     )
     run_parser.add_argument(
         "--no-cache", action="store_true",
@@ -225,8 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port, 0 for ephemeral (default: 8023)",
     )
     serve_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="engine worker processes per request batch (default: 1)",
+        "--jobs", type=int, default=None, metavar="N",
+        help="engine worker processes per request batch "
+        "(default: $REPRO_JOBS or 1)",
     )
     serve_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -249,6 +270,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="log one line per HTTP request to stderr",
     )
     serve_parser.set_defaults(handler=cmd_serve)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="fleet-scale serverless platform simulation"
+    )
+    fleet_sub = fleet_parser.add_subparsers(
+        dest="fleet_command", required=True
+    )
+    fleet_run_parser = fleet_sub.add_parser(
+        "run",
+        help="simulate an invocation fleet (cold starts, stranding, "
+        "DRAM traffic) for baseline vs memento",
+    )
+    fleet_run_parser.add_argument(
+        "--invocations", type=int, default=10_000, metavar="N",
+        help="total invocations over the window (default: 10000)",
+    )
+    fleet_run_parser.add_argument(
+        "--duration", type=float, default=3600.0, metavar="SECONDS",
+        help="simulated window length (default: 3600)",
+    )
+    fleet_run_parser.add_argument(
+        "--seed", type=int, default=42, metavar="N",
+        help="master seed; same seed = bit-identical metrics "
+        "(default: 42)",
+    )
+    fleet_run_parser.add_argument(
+        "--pattern", choices=list(PATTERNS), default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    fleet_run_parser.add_argument(
+        "--mix", choices=list(MIXES), default="azure",
+        help="invocation mix over the workloads (default: azure)",
+    )
+    fleet_run_parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="WORKLOAD",
+        help="functions in the fleet (default: every function-category "
+        "workload)",
+    )
+    fleet_run_parser.add_argument(
+        "--keep-alive", type=float, default=600.0, metavar="SECONDS",
+        help="idle keep-alive before reclaim; 0 = always cold "
+        "(default: 600)",
+    )
+    fleet_run_parser.add_argument(
+        "--policy", choices=list(POLICIES), default="keepalive",
+        help="pool eviction policy (default: keepalive)",
+    )
+    fleet_run_parser.add_argument(
+        "--max-warm", type=int, default=0, metavar="N",
+        help="idle-instance cap for --policy lru; 0 = unlimited "
+        "(default: 0)",
+    )
+    fleet_run_parser.add_argument(
+        "--epochs", type=int, default=0, metavar="N",
+        help="epoch shards; 0 derives from the invocation count "
+        "(default: 0)",
+    )
+    fleet_run_parser.add_argument(
+        "--profile-seeds", type=int, default=2, metavar="N",
+        help="trace-seed variants cycled across epochs (default: 2)",
+    )
+    fleet_run_parser.add_argument(
+        "--allocs", type=int, default=2_000, metavar="N",
+        help="allocations per invocation trace (default: 2000)",
+    )
+    fleet_run_parser.add_argument(
+        "--stack", choices=["both", "baseline", "memento"],
+        default="both",
+        help="stacks to simulate (default: both)",
+    )
+    fleet_run_parser.add_argument(
+        "--kernel", choices=list(KERNEL_CHOICES), default=None,
+        help="replay kernel for the profile runs (default: "
+        "$REPRO_KERNEL or auto)",
+    )
+    fleet_run_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the engine fan-out "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    fleet_run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache",
+    )
+    fleet_run_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    fleet_run_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the platform metrics as JSON at PATH",
+    )
+    fleet_run_parser.set_defaults(handler=cmd_fleet_run)
 
     characterize_parser = sub.add_parser(
         "characterize", help="regenerate the §2.2 allocation study"
@@ -453,15 +567,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _usage_error(message: str) -> int:
-    """Shared usage-error convention: message on stderr, exit code 2."""
-    print(f"repro: {message}", file=sys.stderr)
+    """Shared usage-error convention: one ``repro: error:`` line on
+    stderr, exit code 2 — the same report :class:`UsageError` gets from
+    ``main``, so handlers can use either form."""
+    print(f"repro: error: {message}", file=sys.stderr)
     return 2
 
 
 def _default_cache_dir(cache_dir: Optional[str]) -> str:
-    if cache_dir is None:
-        return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-    return cache_dir
+    return resolve_cache_dir(cache_dir)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -495,12 +609,23 @@ def _progress_line(
     )
 
 
+def _summary_line(done: int, total: int, counts: dict) -> None:
+    """Batched progress for fleet-scale batches: one line per ~5% of the
+    batch instead of one per run."""
+    print(
+        f"[{done:5d}/{total}] {counts.get('cached', 0)} cached / "
+        f"{counts.get('live', 0)} live / {counts.get('failed', 0)} failed",
+        file=sys.stderr,
+    )
+
+
 def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     return ExperimentEngine(
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         use_disk_cache=False if args.no_cache else None,
         progress=_progress_line,
+        summary_progress=_summary_line,
     )
 
 
@@ -552,6 +677,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = list(args.workloads) + list(args.named_workloads)
     if args.run_all == bool(names):
         return _usage_error("run: name workloads or pass --all (not both)")
+    args.jobs = resolve_jobs(args.jobs)
     tracer = ring = profile = auditor = None
     previous_tracer = previous_ring = previous_profile = None
     previous_audit = None
@@ -779,8 +905,53 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """One fleet simulation: profile shards through the engine, the
+    arrival stream through the pool, the platform report to stdout."""
+    import json
+
+    args.jobs = resolve_jobs(args.jobs)
+    stacks = {
+        "both": STACKS,
+        "baseline": ("baseline",),
+        "memento": ("memento",),
+    }[args.stack]
+    request = FleetRequest(
+        workloads=tuple(args.workloads or ()),
+        mix=args.mix,
+        invocations=args.invocations,
+        duration_s=args.duration,
+        pattern=args.pattern,
+        seed=args.seed,
+        epochs=args.epochs,
+        keep_alive_s=args.keep_alive,
+        policy=args.policy,
+        max_warm=args.max_warm,
+        profile_seeds=args.profile_seeds,
+        invocation_allocs=args.allocs,
+        stacks=stacks,
+        kernel=args.kernel,
+    )
+    engine = _make_engine(args)
+    result = simulate_fleet(
+        request,
+        engine=engine,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(render_fleet_report(result))
+    print(f"fleet key: {result.fleet_key}", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    with create_backend(args.backend, _default_cache_dir(args.cache_dir)) as cache:
+    backend = resolve_backend(args.backend)
+    with create_backend(backend, _default_cache_dir(args.cache_dir)) as cache:
         if args.action == "info":
             info = cache.info()
             rows = [
@@ -801,15 +972,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         DEFAULT_PORT,
         ExperimentServer,
     )
-    from repro.service.jobs import DEFAULT_WORKERS
-
-    try:
-        jobs = resolve_jobs(args.jobs)
-        workers = resolve_jobs(
-            DEFAULT_WORKERS if args.workers is None else args.workers
-        )
-    except ValueError as exc:
-        return _usage_error(f"serve: {exc}")
+    # Bad --jobs/--workers raise UsageError, which main reports with
+    # exit 2 — the shared resolver owns the validation now.
+    jobs = resolve_jobs(args.jobs)
+    workers = resolve_workers(args.workers)
     port = DEFAULT_PORT if args.port is None else args.port
     if not 0 <= port <= 65535:
         return _usage_error(f"serve: port must be 0-65535, got {port}")
@@ -821,7 +987,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         jobs=jobs,
         use_disk_cache=False if args.no_cache else None,
-        backend=args.backend,
+        backend=resolve_backend(args.backend),
     )
     server = ExperimentServer(
         host=host,
@@ -1337,6 +1503,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
+    except UsageError as exc:
+        # Bad runtime options (a zero --jobs, an unknown $REPRO_KERNEL)
+        # are usage errors: same one-line report, exit code 2.
+        return _usage_error(str(exc))
     except _REPORTED_ERRORS as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"repro: error: {message}", file=sys.stderr)

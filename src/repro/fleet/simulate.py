@@ -1,0 +1,187 @@
+"""Fleet simulation: shard, fan out, replay the pool, reduce.
+
+One fleet run decomposes into a *small* set of unique per-invocation
+profiles — for each (workload, stack, warm/cold, profile-seed) tuple,
+one deterministic ``RunRequest`` replayed once through the
+``ExperimentEngine`` — and a *large* arrival stream replayed through the
+instance pool using those profiled latencies and footprints. A million
+invocations over 16 workloads, 2 stacks, and 2 profile seeds costs 128
+engine runs (content-keyed, so a re-run answers from cache) plus a pure
+event-processing pass.
+
+Epoch sharding serves three roles: arrival generation is independently
+seeded per epoch (deterministic and resumable), each epoch cycles to its
+own profile-seed variant (trace diversity without per-invocation runs),
+and the stranding timeline is bucketed on epoch boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fleet import arrival
+from repro.fleet.metrics import (
+    FleetResult,
+    StackMetrics,
+    compare_stacks,
+    percentile_summary,
+)
+from repro.fleet.pool import FleetPool
+from repro.fleet.request import FleetRequest
+from repro.harness.engine import ExperimentEngine, RunRequest
+from repro.harness.system import RunResult
+from repro.sim.params import PAGE_SIZE
+from repro.workloads.registry import get_workload
+
+#: key: (workload name, stack, cold?, profile-seed variant)
+ProfileKey = Tuple[str, str, bool, int]
+
+
+def fleet_run_requests(
+    request: FleetRequest,
+) -> Dict[ProfileKey, RunRequest]:
+    """The unique engine shards behind one fleet request.
+
+    Deterministic: the variant seed is ``spec.seed + 1000 * variant``,
+    derived only from the registry spec and the fleet's profile-seed
+    count, never from global state.
+    """
+    req = request.resolved()
+    shards: Dict[ProfileKey, RunRequest] = {}
+    for name in req.workloads:
+        base = get_workload(name)
+        for variant in range(req.profile_seeds):
+            spec = dataclasses.replace(
+                base,
+                num_allocs=req.invocation_allocs,
+                seed=base.seed + 1000 * variant,
+            )
+            for stack in req.stacks:
+                for cold in (False, True):
+                    shards[(name, stack, cold, variant)] = RunRequest(
+                        spec=spec,
+                        memento=(stack == "memento"),
+                        config=req.config,
+                        machine_params=req.machine_params,
+                        cold_start=cold,
+                        kernel=req.kernel,
+                    )
+    return shards
+
+
+def simulate_fleet(
+    request: FleetRequest,
+    engine: Optional[ExperimentEngine] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FleetResult:
+    """Run one fleet simulation end to end.
+
+    The engine fan-out executes (or recalls) every profile shard; the
+    pool pass then replays the arrival stream per stack. Everything
+    downstream of the seed is deterministic, so the same request
+    produces bit-identical metrics on every run.
+    """
+    req = request.resolved()
+    engine = engine if engine is not None else ExperimentEngine()
+    say = log if log is not None else (lambda message: None)
+
+    shards = fleet_run_requests(req)
+    ordered = sorted(shards)  # stable engine-batch order
+    say(
+        f"fleet: {req.invocations:,} invocations / {req.epochs} epochs; "
+        f"{len(ordered)} engine runs "
+        f"({len(req.workloads)} workloads x {len(req.stacks)} stacks "
+        f"x warm,cold x {req.profile_seeds} seeds)"
+    )
+    results = engine.run_many([shards[key] for key in ordered])
+    profiles: Dict[ProfileKey, RunResult] = dict(zip(ordered, results))
+
+    edges = arrival.epoch_edges(req.duration_s, req.epochs)
+    weights = arrival.mix_weights(req.workloads, req.mix, req.seed)
+    counts = arrival.epoch_counts(
+        req.invocations, req.duration_s, req.epochs, req.pattern, req.seed
+    )
+
+    fleet = FleetResult(
+        fleet_key=req.content_key(),
+        seed=req.seed,
+        invocations=req.invocations,
+        duration_s=req.duration_s,
+        epochs=req.epochs,
+        epoch_edges=edges,
+        engine_runs=len(ordered),
+    )
+
+    for stack in req.stacks:
+        pool = FleetPool(
+            keep_alive_s=req.keep_alive_s,
+            policy=req.policy,
+            max_warm=req.max_warm,
+            epoch_edges=edges,
+        )
+        latencies_ms: List[float] = []
+        cold_ms: List[float] = []
+        dram_bytes = 0.0
+        for epoch in range(req.epochs):
+            times = arrival.epoch_arrivals(
+                epoch,
+                counts[epoch],
+                edges[epoch],
+                edges[epoch + 1],
+                req.pattern,
+                req.seed,
+            )
+            picks = arrival.assign_functions(
+                epoch, counts[epoch], weights, req.seed
+            )
+            variant = epoch % req.profile_seeds
+            for t, pick in zip(times, picks):
+                name = req.workloads[pick]
+                warm = profiles[(name, stack, False, variant)]
+                cold_run = profiles[(name, stack, True, variant)]
+                cold_extra = max(0.0, cold_run.seconds - warm.seconds)
+                was_cold, latency = pool.invoke(
+                    name,
+                    t,
+                    warm_s=warm.seconds,
+                    cold_extra_s=cold_extra,
+                    resident_bytes=float(warm.peak_pages * PAGE_SIZE),
+                )
+                latencies_ms.append(latency * 1e3)
+                if was_cold:
+                    cold_ms.append(latency * 1e3)
+                    dram_bytes += cold_run.dram_bytes
+                else:
+                    dram_bytes += warm.dram_bytes
+        stats = pool.finish(req.duration_s)
+        fleet.stacks[stack] = StackMetrics(
+            stack=stack,
+            invocations=stats.invocations,
+            cold_starts=stats.cold_starts,
+            warm_starts=stats.warm_starts,
+            expirations=stats.expirations,
+            evictions=stats.evictions,
+            peak_warm=stats.peak_warm,
+            cold_start_rate=(
+                stats.cold_starts / stats.invocations
+                if stats.invocations
+                else 0.0
+            ),
+            latency_ms=percentile_summary(latencies_ms),
+            cold_start_ms=percentile_summary(cold_ms),
+            dram_bytes=dram_bytes,
+            stranded_byte_seconds=stats.stranded_byte_seconds,
+            stranding_timeline=list(stats.stranding_timeline),
+        )
+        say(
+            f"fleet: {stack}: {stats.cold_starts:,} cold / "
+            f"{stats.warm_starts:,} warm, peak {stats.peak_warm} "
+            f"idle instances"
+        )
+
+    if "baseline" in fleet.stacks and "memento" in fleet.stacks:
+        fleet.comparison = compare_stacks(
+            fleet.stacks["baseline"], fleet.stacks["memento"]
+        )
+    return fleet

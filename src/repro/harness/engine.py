@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -52,7 +51,9 @@ from repro.backends import (
     ResultBackend,
     create_backend,
 )
+from repro import codec
 from repro.core.config import MementoConfig
+from repro.resolve import resolve_jobs
 from repro.harness import vector_kernel
 from repro.harness.system import RunResult, SimulatedSystem
 from repro.obs import ledger as obs_ledger
@@ -89,50 +90,26 @@ ALLOCATOR_REGISTRY: Dict[str, type] = {
 #: ``source`` is ``"live"``, ``"cache"``, or ``"memo"``.
 ProgressFn = Callable[[int, int, "RunRequest", str, float], None]
 
+#: Summary-progress callback: (done, total, counts) where ``counts``
+#: maps ``"cached"``/``"live"``/``"failed"`` to tallies so far. Used
+#: instead of per-run ``ProgressFn`` lines for batches at or above the
+#: engine's summary threshold (per-run lines are unusable at fleet
+#: scale).
+SummaryFn = Callable[[int, int, Dict[str, int]], None]
 
-def resolve_jobs(jobs: Any) -> int:
-    """Validate a worker-process count (``--jobs`` / ``REPRO_JOBS``).
+#: Batches at or above this many runs switch from per-run progress
+#: lines to periodic summary callbacks (when the engine has one).
+SUMMARY_PROGRESS_THRESHOLD = 100
 
-    Raises :class:`ValueError` — which the CLI reports as a clean
-    ``repro: error:`` line — instead of letting a zero or negative count
-    surface later as a ``ProcessPoolExecutor`` traceback.
-    """
-    try:
-        count = int(jobs)
-    except (TypeError, ValueError):
-        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
-    if count != jobs and not isinstance(jobs, str):
-        # int() would silently truncate (e.g. 1.5 -> 1).
-        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
-    if count < 1:
-        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
-    return count
+#: Versioned wire codec for :class:`RunRequest` payloads — the same
+#: machinery :class:`~repro.fleet.request.FleetRequest` uses, so the
+#: two request hierarchies cannot drift (see :mod:`repro.codec`).
+REQUEST_CODEC = codec.VersionedCodec("RunRequest", REQUEST_SCHEMA_VERSION)
 
-
-def _canonical(value: Any) -> Any:
-    """Reduce a request component to a stable, JSON-serializable form.
-
-    Dataclasses are tagged with their class name so two different types
-    with coincidentally equal fields cannot collide.
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        body = {
-            f.name: _canonical(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-        return {"__type__": type(value).__name__, **body}
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(item) for item in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
-
-
-def _digest(payload: Any) -> str:
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+#: Backwards-compatible aliases: the canonicalization/hash primitives
+#: moved to :mod:`repro.codec` in PR 8.
+_canonical = codec.canonical
+_digest = codec.digest
 
 
 #: Identity-keyed fingerprint memo. CostModel is frozen, so an instance's
@@ -151,7 +128,7 @@ def cost_model_fingerprint(cost_model: CostModel = DEFAULT_COSTS) -> str:
     entry = _COST_FINGERPRINTS.get(id(cost_model))
     if entry is not None and entry[0] is cost_model:
         return entry[1]
-    digest = _digest(_canonical(cost_model))[:16]
+    digest = codec.digest(codec.canonical(cost_model))[:16]
     _COST_FINGERPRINTS[id(cost_model)] = (cost_model, digest)
     return digest
 
@@ -175,7 +152,7 @@ def source_fingerprint() -> str:
         entries.append(
             [str(path.relative_to(root)), hashlib.sha256(blob).hexdigest()]
         )
-    return _digest(entries)[:16]
+    return codec.digest(entries)[:16]
 
 
 @dataclass(frozen=True)
@@ -239,13 +216,14 @@ class RunRequest:
             normalized = dataclasses.replace(
                 normalized, config=MementoConfig()
             )
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "source": source_fingerprint(),
-            "cost_model": cost_model_fingerprint(cost_model),
-            "request": _canonical(normalized),
-        }
-        return _digest(payload)
+        return codec.content_key(
+            normalized,
+            schema=SCHEMA_VERSION,
+            fingerprints={
+                "source": source_fingerprint(),
+                "cost_model": cost_model_fingerprint(cost_model),
+            },
+        )
 
     def build_system(
         self, cost_model: Optional[CostModel] = None
@@ -282,8 +260,7 @@ class RunRequest:
         a run submitted over HTTP lands on the same cache entry as the
         same request executed in-process.
         """
-        return {
-            "schema_version": REQUEST_SCHEMA_VERSION,
+        return REQUEST_CODEC.stamp({
             "spec": dataclasses.asdict(self.spec),
             "memento": self.memento,
             "config": dataclasses.asdict(self.config),
@@ -299,7 +276,7 @@ class RunRequest:
             # missing one as unspecified (it never changes results or
             # content keys).
             "kernel": self.kernel,
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: Any) -> "RunRequest":
@@ -310,30 +287,16 @@ class RunRequest:
         unknown fields, so wire/disk corruption fails loudly instead of
         silently simulating the wrong thing.
         """
-        if not isinstance(data, dict):
-            raise ValueError("RunRequest payload must be an object")
-        data = dict(data)
-        version = data.pop("schema_version", 0)
-        if not isinstance(version, int) or version > (
-            REQUEST_SCHEMA_VERSION
-        ):
-            raise ValueError(
-                f"RunRequest schema_version {version!r} is newer than "
-                f"this reader understands ({REQUEST_SCHEMA_VERSION})"
-            )
-        known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(
-                f"unknown RunRequest fields: {sorted(unknown)}"
-            )
+        data = REQUEST_CODEC.open_into(cls, data)
         if "spec" not in data or "memento" not in data:
             raise ValueError("RunRequest payload needs spec and memento")
         return cls(
-            spec=_spec_from_dict(data["spec"]),
+            spec=spec_from_dict(data["spec"]),
             memento=bool(data["memento"]),
-            config=_config_from_dict(data.get("config")),
-            machine_params=_machine_from_dict(data.get("machine_params")),
+            config=config_from_dict(data.get("config")),
+            machine_params=machine_params_from_dict(
+                data.get("machine_params")
+            ),
             cold_start=bool(data.get("cold_start", False)),
             mmap_populate=bool(data.get("mmap_populate", False)),
             allocator=data.get("allocator"),
@@ -349,24 +312,18 @@ class RunRequest:
         )
 
 
-def _checked_fields(
-    cls: type, data: Any, label: str
-) -> Dict[str, Any]:
-    """A copy of ``data`` verified to hold only ``cls`` field names."""
-    if not isinstance(data, dict):
-        raise ValueError(f"{label} must be an object, got {data!r}")
-    known = {f.name for f in dataclasses.fields(cls)}
-    unknown = set(data) - known
-    if unknown:
-        raise ValueError(f"unknown {label} fields: {sorted(unknown)}")
-    return dict(data)
+#: Backwards-compatible alias; moved to :mod:`repro.codec` in PR 8.
+_checked_fields = codec.checked_fields
 
 
-def _spec_from_dict(data: Any) -> WorkloadSpec:
-    body = _checked_fields(WorkloadSpec, data, "spec")
+def spec_from_dict(data: Any) -> WorkloadSpec:
+    """Rebuild a :class:`WorkloadSpec` from its ``asdict`` wire form."""
+    body = codec.checked_fields(WorkloadSpec, data, "spec")
     if body.get("lifetime") is not None:
         body["lifetime"] = LifetimeProfile(
-            **_checked_fields(LifetimeProfile, body["lifetime"], "lifetime")
+            **codec.checked_fields(
+                LifetimeProfile, body["lifetime"], "lifetime"
+            )
         )
     if body.get("size_modes") is not None:
         body["size_modes"] = tuple(
@@ -376,27 +333,37 @@ def _spec_from_dict(data: Any) -> WorkloadSpec:
     return WorkloadSpec(**body)
 
 
-def _config_from_dict(data: Any) -> MementoConfig:
+def config_from_dict(data: Any) -> MementoConfig:
+    """Rebuild a :class:`MementoConfig` (``None`` → defaults)."""
     if data is None:
         return MementoConfig()
-    return MementoConfig(**_checked_fields(MementoConfig, data, "config"))
+    return MementoConfig(
+        **codec.checked_fields(MementoConfig, data, "config")
+    )
 
 
-def _machine_from_dict(data: Any) -> MachineParams:
+def machine_params_from_dict(data: Any) -> MachineParams:
+    """Rebuild :class:`MachineParams` with nested cache/TLB params."""
     if data is None:
         return MachineParams()
-    body = _checked_fields(MachineParams, data, "machine_params")
+    body = codec.checked_fields(MachineParams, data, "machine_params")
     for name in ("l1d", "l1i", "l2", "llc"):
         if isinstance(body.get(name), dict):
             body[name] = CacheParams(
-                **_checked_fields(CacheParams, body[name], name)
+                **codec.checked_fields(CacheParams, body[name], name)
             )
     for name in ("tlb_l1", "tlb_l2"):
         if isinstance(body.get(name), dict):
             body[name] = TlbParams(
-                **_checked_fields(TlbParams, body[name], name)
+                **codec.checked_fields(TlbParams, body[name], name)
             )
     return MachineParams(**body)
+
+
+#: Backwards-compatible aliases for the pre-PR-8 private names.
+_spec_from_dict = spec_from_dict
+_config_from_dict = config_from_dict
+_machine_from_dict = machine_params_from_dict
 
 
 def _execute_remote(
@@ -444,6 +411,8 @@ class ExperimentEngine:
         progress: Optional[ProgressFn] = None,
         use_ledger: Optional[bool] = None,
         backend: Any = None,
+        summary_progress: Optional[SummaryFn] = None,
+        summary_threshold: int = SUMMARY_PROGRESS_THRESHOLD,
     ) -> None:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
@@ -474,6 +443,12 @@ class ExperimentEngine:
             else None
         )
         self.progress = progress
+        # Quiet mode for fleet-scale batches: at or above
+        # ``summary_threshold`` unique runs, per-run progress lines are
+        # replaced by periodic ``summary_progress(done, total, counts)``
+        # calls (when a summary callback is installed).
+        self.summary_progress = summary_progress
+        self.summary_threshold = summary_threshold
         self.stats = Stats()
         self._memo: Dict[str, RunResult] = {}
 
@@ -526,24 +501,42 @@ class ExperimentEngine:
 
             emitted = 0
             total = len(results) + len(misses)
+            summary = (
+                self.summary_progress is not None
+                and total >= self.summary_threshold
+            )
+            counts = {"cached": 0, "live": 0, "failed": 0}
             for key in list(results):
                 request = _request_of(requests, keys, key)
                 emitted += 1
                 self._ledger_append(key, request, sources[key], 0.0,
                                     results[key])
-                self._emit(emitted, total, request, sources[key], 0.0)
+                self._emit(emitted, total, request, sources[key], 0.0,
+                           summary, counts)
 
             if misses:
                 with tracer.span("execute", misses=len(misses)):
-                    for key, result, elapsed in self._execute_all(
-                        misses, jobs
-                    ):
-                        results[key] = result
-                        request = _request_of(requests, keys, key)
-                        emitted += 1
-                        self._ledger_append(key, request, "live", elapsed,
-                                            result)
-                        self._emit(emitted, total, request, "live", elapsed)
+                    try:
+                        for key, result, elapsed in self._execute_all(
+                            misses, jobs
+                        ):
+                            results[key] = result
+                            request = _request_of(requests, keys, key)
+                            emitted += 1
+                            self._ledger_append(key, request, "live",
+                                                elapsed, result)
+                            self._emit(emitted, total, request, "live",
+                                       elapsed, summary, counts)
+                    except Exception:
+                        # The batch still fails (per-run isolation is a
+                        # caller policy, not an engine one), but the
+                        # summary line reports how far it got first.
+                        if summary:
+                            counts["failed"] += 1
+                            self.summary_progress(
+                                emitted, total, dict(counts)
+                            )
+                        raise
         return [results[key] for key in keys]
 
     def _execute_all(
@@ -672,7 +665,16 @@ class ExperimentEngine:
         request: RunRequest,
         source: str,
         seconds: float,
+        summary: bool = False,
+        counts: Optional[Dict[str, int]] = None,
     ) -> None:
+        if summary and counts is not None:
+            counts["live" if source == "live" else "cached"] += 1
+            # ~20 summary lines per batch, plus a guaranteed final one.
+            stride = max(1, total // 20)
+            if index % stride == 0 or index == total:
+                self.summary_progress(index, total, dict(counts))
+            return
         if self.progress is not None:
             self.progress(index, total, request, source, seconds)
 

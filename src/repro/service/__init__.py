@@ -25,6 +25,8 @@ from repro.service.jobs import DEFAULT_WORKERS, JOB_STATES, Job, JobQueue
 from repro.service.wire import (
     WIRE_SCHEMA_VERSION,
     WireError,
+    fleet_request_from_wire,
+    fleet_request_to_wire,
     run_request_from_wire,
     run_request_to_wire,
     run_requests_from_wire,
@@ -46,6 +48,8 @@ __all__ = [
     "ServiceState",
     "WIRE_SCHEMA_VERSION",
     "WireError",
+    "fleet_request_from_wire",
+    "fleet_request_to_wire",
     "run_request_from_wire",
     "run_request_to_wire",
     "run_requests_from_wire",

@@ -12,6 +12,8 @@ Endpoints (all JSON unless noted):
 
 * ``POST /api/v1/runs`` — submit one run; 202 with the job id.
 * ``POST /api/v1/sweeps`` — submit ``{"requests": [...]}`` as one job.
+* ``POST /api/v1/fleets`` — submit one fleet simulation (a
+  ``FleetRequest`` wire payload); 202 with the job id.
 * ``GET /api/v1/jobs`` — every job, submission order.
 * ``GET /api/v1/jobs/<id>`` — job status and transition history.
 * ``GET /api/v1/jobs/<id>/result`` — 200 with results when done, 202
@@ -38,6 +40,7 @@ from repro.service.jobs import DEFAULT_WORKERS, JobQueue
 from repro.service.wire import (
     WIRE_SCHEMA_VERSION,
     WireError,
+    fleet_request_from_wire,
     run_requests_from_wire,
 )
 from repro.workloads.registry import all_workloads
@@ -143,6 +146,26 @@ def op_submit(state: ServiceState, body: Any, kind: str) -> Response:
     )
 
 
+def op_submit_fleet(state: ServiceState, body: Any) -> Response:
+    """Submit one fleet simulation; the same payload ``repro fleet run``
+    and :func:`repro.api.submit_fleet` build, so the job's content key
+    matches a direct run of the identical request."""
+    fleet = fleet_request_from_wire(body)
+    job = state.queue.submit_fleet(fleet)
+    return (
+        202,
+        {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "job_id": job.id,
+            "state": job.state,
+            "fleet_key": fleet.content_key(state.engine.cost_model),
+            "status_url": f"/api/v1/jobs/{job.id}",
+            "result_url": f"/api/v1/jobs/{job.id}/result",
+        },
+        _JSON,
+    )
+
+
 def op_jobs(state: ServiceState) -> Response:
     return (
         200,
@@ -234,6 +257,8 @@ ROUTES: List[Tuple[str, Any, RouteFn]] = [
      _route(lambda state, m, q, b: op_submit(state, b, "run"))),
     ("POST", re_compile(r"^/api/v1/sweeps$"),
      _route(lambda state, m, q, b: op_submit(state, b, "sweep"))),
+    ("POST", re_compile(r"^/api/v1/fleets$"),
+     _route(lambda state, m, q, b: op_submit_fleet(state, b))),
     ("GET", re_compile(r"^/api/v1/jobs$"),
      _route(lambda state, m, q, b: op_jobs(state))),
     ("GET", re_compile(r"^/api/v1/jobs/(?P<job_id>[0-9a-f]+)$"),

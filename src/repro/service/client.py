@@ -27,6 +27,8 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.fleet.metrics import FleetResult
+from repro.fleet.request import FleetRequest
 from repro.harness.engine import RunRequest
 from repro.harness.system import RunResult
 from repro.service.app import DEFAULT_HOST, DEFAULT_PORT
@@ -145,6 +147,17 @@ class ServiceClient:
         }
         return self._request("POST", "/api/v1/sweeps", body)["job_id"]
 
+    def submit_fleet(
+        self, request: Union[FleetRequest, Dict[str, Any]]
+    ) -> str:
+        """Submit one fleet simulation; returns the job id."""
+        body = (
+            request.to_dict()
+            if isinstance(request, FleetRequest)
+            else dict(request)
+        )
+        return self._request("POST", "/api/v1/fleets", body)["job_id"]
+
     def status(self, job_id: str) -> Dict[str, Any]:
         """The job's state, transitions, and provenance."""
         return self._request("GET", f"/api/v1/jobs/{job_id}")
@@ -202,6 +215,33 @@ class ServiceClient:
                 "use results()"
             )
         return results[0]
+
+    def fleet_result(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> FleetResult:
+        """Poll until a fleet job finishes; returns its platform
+        metrics as a live :class:`FleetResult`."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] == "done":
+                payload = self._request(
+                    "GET", f"/api/v1/jobs/{job_id}/result"
+                )
+                return FleetResult.from_dict(payload["results"][0])
+            if status["state"] == "failed":
+                raise JobFailed(
+                    f"job {job_id} failed: {status.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_s)
 
 
 # -- one-liner helpers --------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.service.app import (
     op_ledger,
     op_metrics,
     op_submit,
+    op_submit_fleet,
     op_workloads,
 )
 from repro.service.wire import WireError
@@ -90,6 +91,14 @@ def create_fastapi_app(state: ServiceState) -> Any:
             return op_submit(state, body, kind)
         except WireError as exc:
             return 400, {"error": str(exc)}, "application/json"
+
+    @app.post("/api/v1/fleets")
+    async def submit_fleet(request: Request) -> Response:
+        try:
+            result = op_submit_fleet(state, await request.json())
+        except WireError as exc:
+            result = 400, {"error": str(exc)}, "application/json"
+        return _reply(result)
 
     @app.get("/api/v1/jobs")
     def jobs() -> Response:

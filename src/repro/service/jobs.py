@@ -24,7 +24,10 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.harness.engine import ExperimentEngine, RunRequest, resolve_jobs
+from repro.fleet.request import FleetRequest
+from repro.fleet.simulate import simulate_fleet
+from repro.harness.engine import ExperimentEngine, RunRequest
+from repro.resolve import resolve_workers
 
 #: The job lifecycle; ``done`` and ``failed`` are terminal.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -38,8 +41,11 @@ class Job:
     """One submission's lifecycle, results, and provenance."""
 
     id: str
-    kind: str  # "run" | "sweep"
+    kind: str  # "run" | "sweep" | "fleet"
     requests: List[RunRequest]
+    #: Set for ``kind == "fleet"``; ``requests`` stays empty (the engine
+    #: shards are derived inside the fleet simulation).
+    fleet: Optional[FleetRequest] = None
     state: str = "queued"
     submitted_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
@@ -78,13 +84,19 @@ class Job:
         return self._finished.wait(timeout)
 
     def to_dict(self, include_results: bool = False) -> Dict[str, Any]:
+        if self.fleet is not None:
+            workloads = list(self.fleet.resolved().workloads)
+            stacks = list(self.fleet.stacks)
+        else:
+            workloads = [req.spec.name for req in self.requests]
+            stacks = [req.stack for req in self.requests]
         payload: Dict[str, Any] = {
             "id": self.id,
             "kind": self.kind,
             "state": self.state,
             "requests": len(self.requests),
-            "workloads": [req.spec.name for req in self.requests],
-            "stacks": [req.stack for req in self.requests],
+            "workloads": workloads,
+            "stacks": stacks,
             "submitted_s": self.submitted_s,
             "started_s": self.started_s,
             "finished_s": self.finished_s,
@@ -106,7 +118,7 @@ class JobQueue:
         workers: int = DEFAULT_WORKERS,
     ) -> None:
         self.engine = engine
-        self.workers = resolve_jobs(workers)
+        self.workers = resolve_workers(workers)
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -143,6 +155,22 @@ class JobQueue:
         self._queue.put(job)
         return job
 
+    def submit_fleet(self, fleet: FleetRequest) -> Job:
+        """Enqueue one fleet simulation; returns the queued :class:`Job`."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("job queue is shut down")
+            job = Job(
+                id=uuid.uuid4().hex[:12],
+                kind="fleet",
+                requests=[],
+                fleet=fleet,
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        self._queue.put(job)
+        return job
+
     # -- inspection ------------------------------------------------------
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -170,12 +198,21 @@ class JobQueue:
                 break
             job.mark("running")
             try:
-                results = self.engine.run_many(job.requests)
-                job.keys = [
-                    request.content_key(self.engine.cost_model)
-                    for request in job.requests
-                ]
-                job.results = [result.to_dict() for result in results]
+                if job.fleet is not None:
+                    fleet_result = simulate_fleet(
+                        job.fleet, engine=self.engine
+                    )
+                    job.keys = [
+                        job.fleet.content_key(self.engine.cost_model)
+                    ]
+                    job.results = [fleet_result.to_dict()]
+                else:
+                    results = self.engine.run_many(job.requests)
+                    job.keys = [
+                        request.content_key(self.engine.cost_model)
+                        for request in job.requests
+                    ]
+                    job.results = [result.to_dict() for result in results]
                 job.mark("done")
             except Exception as exc:  # noqa: BLE001 - per-job isolation
                 job.error = f"{type(exc).__name__}: {exc}"

@@ -1,14 +1,18 @@
 """Wire schema for the experiment service.
 
-The service speaks :meth:`RunRequest.to_dict` / ``from_dict`` — the
-versioned JSON form every request round-trips through — plus one
-client-side convenience: a submission may name a registered workload
+The service speaks the versioned payloads of the declarative request
+hierarchy — :meth:`RunRequest.to_dict` / ``from_dict`` for runs and
+sweeps, :meth:`FleetRequest.to_dict` / ``from_dict`` for fleet
+simulations — all built on the one shared codec in :mod:`repro.codec`
+(``schema_version`` stamping, tolerant version-0 readers, newer-version
+and unknown-field rejection). One client-side convenience on top: a run
+submission may name a registered workload
 (``{"workload": "html", "memento": true}``) instead of inlining the full
 spec, optionally with ``spec_overrides`` (e.g. a smaller
-``num_allocs``). Either way the parsed :class:`RunRequest` is the same
-object the in-process API builds, so a run submitted over HTTP hashes to
-the same content key — and therefore the same cached result — as the
-same request executed directly through the engine.
+``num_allocs``). Either way the parsed request is the same object the
+in-process API builds, so a submission over HTTP hashes to the same
+content key — and therefore the same cached result — as the same request
+executed directly through the engine.
 
 Malformed submissions raise :class:`WireError`, which the HTTP layer
 maps to a 400 response carrying the message.
@@ -19,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List
 
+from repro.fleet.request import FleetRequest
 from repro.harness.engine import REQUEST_SCHEMA_VERSION, RunRequest
 from repro.workloads.registry import get_workload
 
@@ -44,12 +49,6 @@ def run_request_from_wire(payload: Any) -> RunRequest:
             f"{type(payload).__name__}"
         )
     body = dict(payload)
-    version = body.get("schema_version", 0)
-    if not isinstance(version, int) or version > WIRE_SCHEMA_VERSION:
-        raise WireError(
-            f"schema_version {version!r} is newer than this service "
-            f"understands ({WIRE_SCHEMA_VERSION})"
-        )
     name = body.pop("workload", None)
     if name is not None:
         if "spec" in body:
@@ -68,6 +67,8 @@ def run_request_from_wire(payload: Any) -> RunRequest:
             raise WireError(f"bad spec_overrides: {exc}")
         body["spec"] = dataclasses.asdict(spec)
     try:
+        # Version tolerance/rejection is the shared codec's job (see
+        # RunRequest.from_dict), not re-implemented here.
         return RunRequest.from_dict(body)
     except (TypeError, ValueError) as exc:
         raise WireError(str(exc))
@@ -85,3 +86,24 @@ def run_requests_from_wire(payload: Any) -> List[RunRequest]:
             raise WireError("requests must be a non-empty array")
         return [run_request_from_wire(item) for item in items]
     return [run_request_from_wire(payload)]
+
+
+def fleet_request_to_wire(request: FleetRequest) -> Dict[str, Any]:
+    """The wire form of a fleet request (already versioned)."""
+    return request.to_dict()
+
+
+def fleet_request_from_wire(payload: Any) -> FleetRequest:
+    """Parse one submitted fleet description into a
+    :class:`FleetRequest` — the identical payload the CLI and
+    :mod:`repro.api` build, so an HTTP fleet submission shares its
+    content key with the same fleet run directly."""
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"fleet submission must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    try:
+        return FleetRequest.from_dict(payload)
+    except (TypeError, ValueError) as exc:
+        raise WireError(str(exc))

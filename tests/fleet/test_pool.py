@@ -1,0 +1,118 @@
+"""Instance-pool mechanics: reuse, keep-alive, eviction, stranding."""
+
+import pytest
+
+from repro.fleet.pool import FleetPool
+
+
+def test_first_arrival_is_cold_then_warm():
+    pool = FleetPool(keep_alive_s=100.0)
+    cold, latency = pool.invoke("f", 0.0, warm_s=1.0, cold_extra_s=4.0,
+                                resident_bytes=1000.0)
+    assert cold and latency == 5.0
+    cold, latency = pool.invoke("f", 10.0, warm_s=1.0, cold_extra_s=4.0,
+                                resident_bytes=1000.0)
+    assert not cold and latency == 1.0
+
+
+def test_zero_keep_alive_is_always_cold_with_zero_stranding():
+    pool = FleetPool(keep_alive_s=0.0)
+    for t in range(10):
+        cold, _ = pool.invoke("f", float(t), warm_s=0.01,
+                              cold_extra_s=0.05, resident_bytes=4096.0)
+        assert cold
+    stats = pool.finish(10.0)
+    assert stats.cold_starts == 10 and stats.warm_starts == 0
+    assert stats.stranded_byte_seconds == 0.0
+
+
+def test_all_warm_pool_never_cold_after_first():
+    # Keep-alive far longer than the gaps and invocations shorter than
+    # the inter-arrival time: one cold start, everything else reuses.
+    pool = FleetPool(keep_alive_s=1e9)
+    for t in range(100):
+        pool.invoke("f", float(t), warm_s=0.1, cold_extra_s=0.2,
+                    resident_bytes=100.0)
+    stats = pool.finish(100.0)
+    assert stats.cold_starts == 1
+    assert stats.warm_starts == 99
+
+
+def test_expiry_after_keep_alive():
+    pool = FleetPool(keep_alive_s=5.0)
+    pool.invoke("f", 0.0, warm_s=1.0, cold_extra_s=0.0,
+                resident_bytes=10.0)
+    # Instance idles from t=1; its keep-alive lapses at t=6, so the
+    # arrival at t=10 is cold again.
+    cold, _ = pool.invoke("f", 10.0, warm_s=1.0, cold_extra_s=0.0,
+                          resident_bytes=10.0)
+    assert cold
+    stats = pool.finish(20.0)
+    assert stats.expirations >= 1
+    # First idle span: t=1 to t=6 at 10 bytes = 50 byte-seconds; the
+    # second instance idles t=11..16 for another 50.
+    assert stats.stranded_byte_seconds == pytest.approx(100.0)
+
+
+def test_stranding_is_resident_bytes_times_idle_time():
+    pool = FleetPool(keep_alive_s=100.0)
+    pool.invoke("f", 0.0, warm_s=2.0, cold_extra_s=0.0,
+                resident_bytes=1000.0)
+    # Warm reuse at t=10: idle span was t=2..10 = 8s at 1000 B.
+    pool.invoke("f", 10.0, warm_s=2.0, cold_extra_s=0.0,
+                resident_bytes=1000.0)
+    assert pool.stats.stranded_byte_seconds == pytest.approx(8000.0)
+
+
+def test_stranding_timeline_splits_across_epochs():
+    edges = [0.0, 10.0, 20.0]
+    pool = FleetPool(keep_alive_s=100.0, epoch_edges=edges)
+    pool.invoke("f", 0.0, warm_s=1.0, cold_extra_s=0.0,
+                resident_bytes=100.0)
+    # Idle from t=1; reused at t=15: 9s in epoch 0, 5s in epoch 1.
+    pool.invoke("f", 15.0, warm_s=1.0, cold_extra_s=0.0,
+                resident_bytes=100.0)
+    timeline = pool.stats.stranding_timeline
+    assert timeline[0] == pytest.approx(900.0)
+    assert timeline[1] == pytest.approx(500.0)
+
+
+def test_lru_cap_evicts_oldest_idle():
+    pool = FleetPool(keep_alive_s=1000.0, policy="lru", max_warm=2)
+    for i, name in enumerate(["a", "b", "c"]):
+        pool.invoke(name, float(i), warm_s=0.5, cold_extra_s=0.0,
+                    resident_bytes=10.0)
+    stats = pool.finish(10.0)
+    # Parking "c" exceeded the cap; "a" (oldest idle) was evicted.
+    assert stats.evictions == 1
+    assert stats.peak_warm <= 3
+
+
+def test_lru_pool_keeps_hot_function_warm():
+    pool = FleetPool(keep_alive_s=1000.0, policy="lru", max_warm=1)
+    pool.invoke("hot", 0.0, warm_s=0.1, cold_extra_s=1.0,
+                resident_bytes=10.0)
+    pool.invoke("cold-fn", 1.0, warm_s=0.1, cold_extra_s=1.0,
+                resident_bytes=10.0)  # evicts "hot"
+    cold, _ = pool.invoke("hot", 2.0, warm_s=0.1, cold_extra_s=1.0,
+                          resident_bytes=10.0)
+    assert cold  # "hot" was the LRU victim
+
+
+def test_busy_instance_is_not_reused():
+    # The first invocation finishes at t=5; an arrival at t=2 cannot
+    # reuse the still-running instance.
+    pool = FleetPool(keep_alive_s=100.0)
+    pool.invoke("f", 0.0, warm_s=5.0, cold_extra_s=0.0,
+                resident_bytes=10.0)
+    cold, _ = pool.invoke("f", 2.0, warm_s=5.0, cold_extra_s=0.0,
+                          resident_bytes=10.0)
+    assert cold
+    assert pool.stats.cold_starts == 2
+
+
+def test_bad_policy_and_negative_keep_alive_rejected():
+    with pytest.raises(ValueError, match="unknown policy"):
+        FleetPool(keep_alive_s=1.0, policy="fifo")
+    with pytest.raises(ValueError, match="keep_alive_s"):
+        FleetPool(keep_alive_s=-1.0)

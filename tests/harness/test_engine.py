@@ -279,7 +279,17 @@ class TestResolveJobs:
         assert resolve_jobs(1) == 1
         assert resolve_jobs("4") == 4
 
-    @pytest.mark.parametrize("bad", [0, -1, "-3", "two", None, 1.5])
+    def test_none_means_unspecified(self, monkeypatch):
+        # The shared resolver (PR 8) treats None as "unspecified":
+        # $REPRO_JOBS wins, then the default of 1.
+        from repro.harness.engine import resolve_jobs
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, "-3", "two", 1.5])
     def test_invalid_counts_raise_value_error(self, bad):
         from repro.harness.engine import resolve_jobs
 
@@ -304,7 +314,9 @@ class TestResolveJobs:
             "run", "--workload", "aes", "--jobs", "0",
             "--cache-dir", str(tmp_path / "cache"),
         ])
-        assert code == 1
+        # Bad runtime options are usage errors (PR 8): same one-line
+        # ``repro: error:`` report, exit code 2.
+        assert code == 2
         err = capsys.readouterr().err
         assert "repro: error:" in err and "positive integer" in err
         assert "Traceback" not in err
