@@ -44,8 +44,11 @@ from repro.backends import (
 )
 from repro.core.config import MementoConfig
 from repro.fleet import (
+    FleetRecorder,
     FleetRequest,
     FleetResult,
+    get_fleet_recorder,
+    install_fleet_recorder,
     render_fleet_report,
     simulate_fleet,
 )
@@ -81,7 +84,10 @@ from repro.obs import (
     render_profile,
     render_span_tree,
     render_top_consumers,
+    check_fleet_trend,
+    render_fleet_trend,
     render_trend,
+    set_thread_tracer,
     set_tracer,
     trace_events,
     trend_by_key,
@@ -92,6 +98,7 @@ from repro.service import (
     JobFailed,
     ServiceClient,
     ServiceError,
+    ServiceTelemetry,
     fleet_request_from_wire,
     fleet_request_to_wire,
     run_request_from_wire,
@@ -114,8 +121,11 @@ __all__ = [
     "run_all",
     "run_workload",
     # fleet simulation
+    "FleetRecorder",
     "FleetRequest",
     "FleetResult",
+    "get_fleet_recorder",
+    "install_fleet_recorder",
     "render_fleet_report",
     "simulate_fleet",
     # configuration
@@ -133,6 +143,7 @@ __all__ = [
     "NullTracer",
     "RunLedger",
     "Tracer",
+    "check_fleet_trend",
     "check_trend",
     "default_ledger_path",
     "export_timeline",
@@ -143,8 +154,10 @@ __all__ = [
     "install_ring",
     "render_profile",
     "render_span_tree",
+    "render_fleet_trend",
     "render_top_consumers",
     "render_trend",
+    "set_thread_tracer",
     "set_tracer",
     "trace_events",
     "trend_by_key",
@@ -155,6 +168,7 @@ __all__ = [
     "ResultBackend",
     "ServiceClient",
     "ServiceError",
+    "ServiceTelemetry",
     "backend_names",
     "create_backend",
     "fleet_request_from_wire",

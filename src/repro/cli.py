@@ -95,6 +95,7 @@ from repro.obs import (
     check_bench,
     check_ledger_determinism,
     check_bench_trend,
+    check_fleet_trend,
     check_trend,
     default_ledger_path,
     event_record,
@@ -110,10 +111,12 @@ from repro.obs import (
     render_span_tree,
     render_top_consumers,
     render_bench_trend,
+    render_fleet_trend,
     render_trend,
     run_record,
     set_tracer,
     span_record,
+    split_fleet_entries,
     write_jsonl,
 )
 from repro.workloads.registry import all_workloads, get_workload
@@ -269,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="log one line per HTTP request to stderr",
     )
+    serve_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="append per-job trace records (JSONL) at PATH",
+    )
     serve_parser.set_defaults(handler=cmd_serve)
 
     fleet_parser = sub.add_parser(
@@ -361,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run_parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the platform metrics as JSON at PATH",
+    )
+    fleet_run_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write fleet telemetry (per-epoch records, instance "
+        "lifetimes, sampled events) as JSONL at PATH",
     )
     fleet_run_parser.set_defaults(handler=cmd_fleet_run)
 
@@ -557,6 +569,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-drop", type=float, default=None, metavar="PCT",
         help="max events/s drop vs the bench-file median before the "
         "throughput gate flags (default: 40)",
+    )
+    trend_parser.add_argument(
+        "--fleet-threshold", type=float, default=None, metavar="PCT",
+        help="max worsening of fleet cold-start p95 / stranded GB·s vs "
+        "the scenario median before the fleet gate flags (default: 25)",
     )
     trend_parser.add_argument(
         "--report-only", action="store_true",
@@ -933,11 +950,28 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         kernel=args.kernel,
     )
     engine = _make_engine(args)
-    result = simulate_fleet(
-        request,
-        engine=engine,
-        log=lambda message: print(message, file=sys.stderr),
-    )
+    recorder = None
+    ring = None
+    previous_recorder = previous_ring = None
+    if args.telemetry:
+        from repro.fleet import FleetRecorder, install_fleet_recorder
+
+        recorder = FleetRecorder()
+        ring = EventRing(capacity=8192, sample_every=1)
+        previous_recorder = install_fleet_recorder(recorder)
+        previous_ring = install_ring(ring)
+    try:
+        result = simulate_fleet(
+            request,
+            engine=engine,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    finally:
+        if args.telemetry:
+            from repro.fleet import install_fleet_recorder
+
+            install_fleet_recorder(previous_recorder)
+            install_ring(previous_ring)
     print(render_fleet_report(result))
     print(f"fleet key: {result.fleet_key}", file=sys.stderr)
     if args.out:
@@ -946,6 +980,27 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.telemetry and recorder is not None:
+        records = [
+            {
+                "kind": "fleet",
+                "fleet_key": result.fleet_key,
+                "seed": result.seed,
+                "invocations": result.invocations,
+                "duration_s": result.duration_s,
+                "epochs": result.epochs,
+                "dropped_instance_spans": recorder.dropped,
+            }
+        ]
+        records.extend(recorder.records())
+        if ring is not None:
+            records.append(event_record(ring.to_dict()))
+        write_jsonl(Path(args.telemetry), records)
+        print(
+            f"wrote {args.telemetry} ({len(records)} telemetry "
+            "records)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -995,6 +1050,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine=engine,
         workers=workers,
         log_requests=args.log_requests,
+        telemetry_path=args.telemetry,
     )
     backend_kind = engine.disk.kind if engine.disk is not None else "none"
     print(
@@ -1002,6 +1058,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"(backend={backend_kind} workers={workers} jobs={jobs})",
         file=sys.stderr,
     )
+    if args.telemetry:
+        print(
+            f"repro serve: appending job traces to {args.telemetry}",
+            file=sys.stderr,
+        )
 
     stop = threading.Event()
 
@@ -1204,7 +1265,8 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
             "schema (written by a different repro version)",
             file=sys.stderr,
         )
-    entries = all_entries[-args.last:]
+    run_entries, fleet_entries = split_fleet_entries(all_entries)
+    entries = run_entries[-args.last:]
     if entries:
         rows = [
             [
@@ -1222,7 +1284,7 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
              "digest"],
             rows,
             title=f"run ledger: last {len(entries)} of "
-            f"{len(all_entries)} ({ledger.path})",
+            f"{len(run_entries)} ({ledger.path})",
         ))
         determinism = check_ledger_determinism(ledger)
         if determinism["conflicts"]:
@@ -1230,6 +1292,54 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                 "WARNING: counter digests disagree for "
                 f"{len(determinism['conflicts'])} content key(s) — "
                 "nondeterministic replay or stale fingerprints"
+            )
+        printed = True
+    fleet_shown = fleet_entries[-args.last:]
+    if fleet_shown:
+        if printed:
+            print()
+        fleet_rows = []
+        for entry in fleet_shown:
+            stacks = entry.get("stacks") or {}
+            cold = "/".join(
+                f"{stacks[name].get('cold_start_p95_ms', 0.0):.1f}"
+                for name in sorted(stacks)
+            )
+            stranded = "/".join(
+                f"{stacks[name].get('stranded_gb_s', 0.0):.2f}"
+                for name in sorted(stacks)
+            )
+            fleet_rows.append([
+                str(entry.get("key", "?"))[:16],
+                f"{entry.get('invocations') or 0:,}",
+                ",".join(sorted(stacks)),
+                cold or "-",
+                stranded or "-",
+                entry.get("metrics_digest", ""),
+            ])
+        print(render_table(
+            ["fleet key", "invocations", "stacks", "cold p95 ms",
+             "stranded GB·s", "digest"],
+            fleet_rows,
+            title=f"fleet executions: last {len(fleet_shown)} of "
+            f"{len(fleet_entries)}",
+        ))
+        digests_per_key: dict = {}
+        for entry in fleet_entries:
+            digest = entry.get("metrics_digest")
+            if digest:
+                bucket = digests_per_key.setdefault(entry.get("key"), [])
+                if digest not in bucket:
+                    bucket.append(digest)
+        conflicted = {
+            key for key, bucket in digests_per_key.items()
+            if len(bucket) > 1
+        }
+        if conflicted:
+            print(
+                "WARNING: fleet metrics digests disagree for "
+                f"{len(conflicted)} fleet key(s) — the seeded "
+                "simulation is not bit-stable"
             )
         printed = True
     if args.metrics:
@@ -1446,11 +1556,16 @@ def cmd_obs_profile(args: argparse.Namespace) -> int:
 
 def cmd_obs_timeline(args: argparse.Namespace) -> int:
     records = read_jsonl(Path(args.metrics))
-    relevant = [r for r in records if r.get("kind") in ("spans", "events")]
+    relevant = [
+        r for r in records
+        if r.get("kind")
+        in ("spans", "events", "fleet.instance", "fleet.epoch")
+    ]
     if not relevant:
         raise ValueError(
-            f"obs timeline: no span or event records in {args.metrics} "
-            "(export them with `repro run --trace --metrics PATH`)"
+            f"obs timeline: no span, event, or fleet records in "
+            f"{args.metrics} (export them with `repro run --trace "
+            "--metrics PATH` or `repro fleet run --telemetry PATH`)"
         )
     out = export_timeline(Path(args.out), relevant)
     import json
@@ -1464,7 +1579,10 @@ def cmd_obs_timeline(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_trend(args: argparse.Namespace) -> int:
-    from repro.obs.trend import DEFAULT_BENCH_DROP_PCT
+    from repro.obs.trend import (
+        DEFAULT_BENCH_DROP_PCT,
+        DEFAULT_FLEET_TREND_PCT,
+    )
 
     ledger = _ledger_at(args.ledger)
     report = check_trend(ledger, threshold_pct=args.threshold)
@@ -1476,7 +1594,19 @@ def cmd_obs_trend(args: argparse.Namespace) -> int:
             else DEFAULT_BENCH_DROP_PCT
         ),
     )
-    if not report["entries"] and not bench_report["rows"]:
+    fleet_report = check_fleet_trend(
+        ledger,
+        threshold_pct=(
+            args.fleet_threshold
+            if args.fleet_threshold is not None
+            else DEFAULT_FLEET_TREND_PCT
+        ),
+    )
+    if (
+        not report["entries"]
+        and not bench_report["rows"]
+        and not fleet_report["entries"]
+    ):
         print(f"obs trend: ledger has no entries ({ledger.path})")
         return 0
     if report["entries"]:
@@ -1488,7 +1618,13 @@ def cmd_obs_trend(args: argparse.Namespace) -> int:
             f"({len(bench_report['files'])} committed files)"
         )
         print(render_bench_trend(bench_report))
-    ok = report["ok"] and bench_report["ok"]
+    if fleet_report["entries"]:
+        print()
+        print(
+            f"Fleet trend ({fleet_report['entries']} ledger entries)"
+        )
+        print(render_fleet_trend(fleet_report))
+    ok = report["ok"] and bench_report["ok"] and fleet_report["ok"]
     if ok:
         print("obs trend: ok")
         return 0

@@ -21,11 +21,17 @@ from repro.fleet.request import (
     FleetRequest,
 )
 from repro.fleet.simulate import fleet_run_requests, simulate_fleet
+from repro.fleet.telemetry import (
+    FleetRecorder,
+    get_fleet_recorder,
+    install_fleet_recorder,
+)
 
 __all__ = [
     "FLEET_RESULT_SCHEMA_VERSION",
     "FLEET_SCHEMA_VERSION",
     "FleetPool",
+    "FleetRecorder",
     "FleetRequest",
     "FleetResult",
     "MIXES",
@@ -35,6 +41,8 @@ __all__ = [
     "STACKS",
     "StackMetrics",
     "fleet_run_requests",
+    "get_fleet_recorder",
+    "install_fleet_recorder",
     "render_fleet_report",
     "simulate_fleet",
 ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 POLICIES = ("keepalive", "lru")
 
@@ -47,6 +47,9 @@ class _Instance:
     #: its recorded generation matches (the instance was reused since).
     generation: int = 0
     alive: bool = True
+    #: Pool-assigned id, stable across the instance's whole lifetime —
+    #: the telemetry track key for its busy/idle span sequence.
+    uid: int = 0
 
 
 @dataclass
@@ -74,6 +77,8 @@ class FleetPool:
         policy: str = "keepalive",
         max_warm: int = 0,
         epoch_edges: Optional[Sequence[float]] = None,
+        recorder: Optional[Any] = None,
+        stack: str = "",
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -98,6 +103,32 @@ class FleetPool:
         self._lru: List[Tuple[float, int, int, _Instance]] = []
         self._idle_count = 0
         self._tiebreak = 0
+        #: Optional FleetRecorder (duck-typed): observes instance
+        #: lifetimes; never consulted for pool decisions, so results are
+        #: bit-identical with or without it.
+        self._recorder = recorder
+        self._stack = stack
+        self._next_uid = 0
+
+    @property
+    def idle_count(self) -> int:
+        """Idle (warm, resident) instances right now."""
+        return self._idle_count
+
+    def _record_idle_end(
+        self, inst: _Instance, end: float, outcome: str
+    ) -> None:
+        """Telemetry: one idle span, from park to ``end``."""
+        if self._recorder is not None and end > inst.idle_since:
+            self._recorder.instance_span(
+                self._stack,
+                inst.function,
+                inst.uid,
+                "idle",
+                inst.idle_since,
+                end,
+                outcome=outcome,
+            )
 
     # -- stranding accounting -------------------------------------------
 
@@ -163,6 +194,7 @@ class FleetPool:
             if not inst.alive or inst.generation != generation:
                 continue  # stale: reused (or evicted) since this push
             self._credit_stranding(inst, deadline)
+            self._record_idle_end(inst, deadline, "expired")
             inst.alive = False
             self._remove_idle(inst)
             self.stats.expirations += 1
@@ -178,6 +210,7 @@ class FleetPool:
             # Evicted "now" == the moment the cap was exceeded, which is
             # the new instance's park time; its idle span ends here.
             self._credit_stranding(inst, self._last_now)
+            self._record_idle_end(inst, self._last_now, "evicted")
             inst.alive = False
             self._remove_idle(inst)
             self.stats.evictions += 1
@@ -220,14 +253,27 @@ class FleetPool:
                 self._idle.pop(function, None)
             self._idle_count -= 1
             self._credit_stranding(inst, now)
+            self._record_idle_end(inst, now, "reused")
             inst.generation += 1  # invalidate queued expiry/LRU entries
             inst.resident_bytes = resident_bytes
             self.stats.warm_starts += 1
             cold, latency = False, warm_s
         else:
             inst = _Instance(function=function, resident_bytes=resident_bytes)
+            inst.uid = self._next_uid
+            self._next_uid += 1
             self.stats.cold_starts += 1
             cold, latency = True, warm_s + cold_extra_s
+        if self._recorder is not None:
+            self._recorder.instance_span(
+                self._stack,
+                function,
+                inst.uid,
+                "busy",
+                now,
+                now + latency,
+                cold=cold,
+            )
         if self.keep_alive_s > 0:
             self._park(inst, now + latency)
         else:
@@ -242,6 +288,9 @@ class FleetPool:
             for inst in stack:
                 until = min(horizon, inst.idle_since + self.keep_alive_s)
                 self._credit_stranding(inst, max(until, inst.idle_since))
+                self._record_idle_end(
+                    inst, max(until, inst.idle_since), "horizon"
+                )
                 inst.alive = False
         self._idle.clear()
         self._idle_count = 0

@@ -18,6 +18,7 @@ and the stranding timeline is bucketed on epoch boundaries.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.fleet import arrival
@@ -29,7 +30,15 @@ from repro.fleet.metrics import (
 )
 from repro.fleet.pool import FleetPool
 from repro.fleet.request import FleetRequest
-from repro.harness.engine import ExperimentEngine, RunRequest
+from repro.fleet.telemetry import get_fleet_recorder
+from repro.harness.engine import (
+    ExperimentEngine,
+    RunRequest,
+    cost_model_fingerprint,
+    source_fingerprint,
+)
+from repro.obs import ledger as obs_ledger
+from repro.obs.events import get_ring
 from repro.harness.system import RunResult
 from repro.sim.params import PAGE_SIZE
 from repro.workloads.registry import get_workload
@@ -85,6 +94,12 @@ def simulate_fleet(
     req = request.resolved()
     engine = engine if engine is not None else ExperimentEngine()
     say = log if log is not None else (lambda message: None)
+    # Telemetry hooks are captured once at entry (install-before-run,
+    # mirroring the ring/profile/audit gating); None means disabled and
+    # the pass below takes the exact same branches as ever.
+    recorder = get_fleet_recorder()
+    ring = get_ring()
+    started = time.perf_counter()
 
     shards = fleet_run_requests(req)
     ordered = sorted(shards)  # stable engine-batch order
@@ -119,11 +134,19 @@ def simulate_fleet(
             policy=req.policy,
             max_warm=req.max_warm,
             epoch_edges=edges,
+            recorder=recorder,
+            stack=stack,
         )
         latencies_ms: List[float] = []
         cold_ms: List[float] = []
         dram_bytes = 0.0
         for epoch in range(req.epochs):
+            before = (
+                pool.stats.cold_starts,
+                pool.stats.warm_starts,
+                pool.stats.expirations,
+                pool.stats.evictions,
+            )
             times = arrival.epoch_arrivals(
                 epoch,
                 counts[epoch],
@@ -154,7 +177,29 @@ def simulate_fleet(
                     dram_bytes += cold_run.dram_bytes
                 else:
                     dram_bytes += warm.dram_bytes
+            if recorder is not None or ring is not None:
+                deltas = {
+                    "cold_starts": pool.stats.cold_starts - before[0],
+                    "warm_starts": pool.stats.warm_starts - before[1],
+                    "expirations": pool.stats.expirations - before[2],
+                    "evictions": pool.stats.evictions - before[3],
+                }
+                if recorder is not None:
+                    recorder.epoch(
+                        stack,
+                        epoch,
+                        edges[epoch],
+                        edges[epoch + 1],
+                        invocations=counts[epoch],
+                        pool_size=pool.idle_count,
+                        **deltas,
+                    )
+                if ring is not None:
+                    for counter, delta in deltas.items():
+                        ring.record(f"fleet.{stack}.{counter}", delta)
         stats = pool.finish(req.duration_s)
+        if recorder is not None:
+            recorder.finish_stack(stack, stats.stranding_timeline)
         fleet.stacks[stack] = StackMetrics(
             stack=stack,
             invocations=stats.invocations,
@@ -184,4 +229,34 @@ def simulate_fleet(
         fleet.comparison = compare_stacks(
             fleet.stacks["baseline"], fleet.stacks["memento"]
         )
+
+    if engine.ledger is not None:
+        # Fleet determinism canary: the digest covers the full wire dict,
+        # so two ledger lines for the same fleet key must agree bit for
+        # bit. ``scenario`` digests only the declarative request (no
+        # fingerprints), the stable grouping for trend gates.
+        payload = fleet.to_dict()
+        entry = obs_ledger.fleet_manifest(
+            fleet_key=fleet.fleet_key,
+            scenario=obs_ledger.payload_digest(req.to_dict()),
+            seed=req.seed,
+            invocations=req.invocations,
+            duration_s=req.duration_s,
+            elapsed_s=time.perf_counter() - started,
+            stacks={
+                name: {
+                    "cold_start_p95_ms": m.cold_start_ms.get("p95", 0.0),
+                    "stranded_gb_s": m.stranded_byte_seconds / 1e9,
+                    "cold_start_rate": m.cold_start_rate,
+                    "evictions": m.evictions,
+                }
+                for name, m in fleet.stacks.items()
+            },
+            metrics_digest=obs_ledger.payload_digest(payload),
+            fingerprints={
+                "source": source_fingerprint(),
+                "cost_model": cost_model_fingerprint(engine.cost_model),
+            },
+        )
+        engine.ledger.append(entry)
     return fleet

@@ -576,6 +576,7 @@ class ExperimentEngine:
             return memo
         if self.disk is None:
             return None
+        self.stats.add("engine.disk.gets")
         payload = self.disk.get(key)
         if payload is None:
             return None
@@ -583,6 +584,7 @@ class ExperimentEngine:
             # Readable storage holding a stale or foreign envelope:
             # retire it and re-simulate.
             self.disk.delete(key)
+            self.stats.add("engine.disk.deletes")
             return None
         try:
             result = RunResult.from_dict(payload["result"])
@@ -590,6 +592,7 @@ class ExperimentEngine:
             # Structurally valid JSON whose result no longer matches the
             # RunResult schema: treat as corrupt and re-simulate.
             self.disk.delete(key)
+            self.stats.add("engine.disk.deletes")
             self.stats.add("engine.disk.corrupt")
             return None
         self.stats.add("engine.disk.hits")

@@ -29,7 +29,10 @@ from repro.obs.ledger import (
     check_ledger_determinism,
     counter_digest,
     default_ledger_path,
+    fleet_manifest,
     manifest,
+    payload_digest,
+    split_fleet_entries,
 )
 from repro.obs.metrics import (
     event_record,
@@ -56,6 +59,7 @@ from repro.obs.profile import (
 )
 from repro.obs.timeline import (
     export_timeline,
+    fleet_trace_events,
     trace_events,
     validate_trace_events,
 )
@@ -66,12 +70,16 @@ from repro.obs.tracing import (
     Tracer,
     get_tracer,
     render_span_tree,
+    set_thread_tracer,
     set_tracer,
 )
 from repro.obs.trend import (
     check_bench_trend,
+    check_fleet_trend,
     check_trend,
+    fleet_trend,
     render_bench_trend,
+    render_fleet_trend,
     render_trend,
     trend_by_key,
 )
@@ -91,11 +99,15 @@ __all__ = [
     "check_bench",
     "check_ledger_determinism",
     "check_bench_trend",
+    "check_fleet_trend",
     "check_trend",
     "counter_digest",
     "default_ledger_path",
     "event_record",
     "export_timeline",
+    "fleet_manifest",
+    "fleet_trace_events",
+    "fleet_trend",
     "get_profile",
     "get_ring",
     "get_tracer",
@@ -103,6 +115,7 @@ __all__ = [
     "install_profile",
     "install_ring",
     "manifest",
+    "payload_digest",
     "profile_record",
     "prometheus_lines",
     "read_jsonl",
@@ -113,11 +126,14 @@ __all__ = [
     "render_top_consumers",
     "run_record",
     "sanitize_metric_name",
+    "set_thread_tracer",
     "set_tracer",
     "span_record",
+    "split_fleet_entries",
     "trace_events",
     "trend_by_key",
     "render_bench_trend",
+    "render_fleet_trend",
     "render_trend",
     "validate_trace_events",
     "write_jsonl",

@@ -52,6 +52,18 @@ def counter_digest(counters: Mapping[str, float]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
+def payload_digest(payload: Any) -> str:
+    """Order-independent 16-hex digest of any JSON-serializable payload.
+
+    The fleet-level determinism canary: :func:`fleet_manifest` stamps the
+    digest of the full ``FleetResult`` wire dict, so two ledger lines for
+    the same fleet key with different digests mean the seeded simulation
+    stopped being bit-identical.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
 def manifest(
     key: str,
     workload: str,
@@ -78,6 +90,62 @@ def manifest(
         "counter_digest": counter_digest(result_summary.get("stats", {})),
         "fingerprints": dict(fingerprints or {}),
     }
+
+
+def fleet_manifest(
+    fleet_key: str,
+    scenario: str,
+    seed: int,
+    invocations: int,
+    duration_s: float,
+    elapsed_s: float,
+    stacks: Mapping[str, Mapping[str, Any]],
+    metrics_digest: str,
+    fingerprints: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Assemble one ledger line for a fleet execution.
+
+    ``kind: "fleet"`` discriminates these lines from run manifests;
+    ``key`` holds the fleet content key (which folds the source and
+    cost-model fingerprints, so it changes whenever the code does) while
+    ``scenario`` digests only the declarative request — the stable
+    grouping the fleet trend gates ride across source versions.
+    ``stacks`` carries the per-stack headline numbers the gates compare
+    (cold-start p95, stranded GB·s) and ``metrics_digest`` is the
+    determinism canary over the full :class:`FleetResult` payload.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "schema": SCHEMA_VERSION,
+        "kind": "fleet",
+        "ts": time.time(),
+        "key": fleet_key,
+        "fleet_key": fleet_key,
+        "scenario": scenario,
+        "seed": seed,
+        "invocations": invocations,
+        "duration_s": duration_s,
+        "elapsed_s": elapsed_s,
+        "source": "fleet",
+        "stacks": {
+            name: dict(summary) for name, summary in stacks.items()
+        },
+        "metrics_digest": metrics_digest,
+        "fingerprints": dict(fingerprints or {}),
+    }
+
+
+def split_fleet_entries(
+    entries: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """``(run_entries, fleet_entries)`` — classify ledger lines by kind.
+
+    Run manifests predate the ``kind`` field, so anything without
+    ``kind: "fleet"`` is a run line.
+    """
+    runs = [e for e in entries if e.get("kind") != "fleet"]
+    fleets = [e for e in entries if e.get("kind") == "fleet"]
+    return runs, fleets
 
 
 class RunLedger:

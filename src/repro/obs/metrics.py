@@ -53,9 +53,10 @@ def prometheus_lines(
 ) -> List[str]:
     """Render one counter snapshot as Prometheus exposition lines.
 
-    ``seen_types`` (shared across calls when rendering several snapshots
-    into one file) suppresses duplicate ``# TYPE`` headers, which the
-    format forbids.
+    Every family's first appearance carries ``# HELP`` and ``# TYPE``
+    headers; ``seen_types`` (shared across calls when rendering several
+    snapshots into one file) suppresses duplicates, which the format
+    forbids.
     """
     seen = seen_types if seen_types is not None else set()
     label_text = _label_text(labels or {})
@@ -64,6 +65,7 @@ def prometheus_lines(
         metric = sanitize_metric_name(name, prefix)
         if metric not in seen:
             seen.add(metric)
+            lines.append(f"# HELP {metric} repro counter {name}")
             lines.append(f"# TYPE {metric} gauge")
         value = counters[name]
         lines.append(f"{metric}{label_text} {value:g}")
@@ -111,10 +113,12 @@ def histogram_lines(
     ``_count``, with the standard ``+Inf`` terminal bucket.
     """
     seen = seen_types if seen_types is not None else set()
-    metric = sanitize_metric_name(str(hist_payload.get("name", "hist")), prefix)
+    name = str(hist_payload.get("name", "hist"))
+    metric = sanitize_metric_name(name, prefix)
     lines: List[str] = []
     if metric not in seen:
         seen.add(metric)
+        lines.append(f"# HELP {metric} repro log2 histogram {name}")
         lines.append(f"# TYPE {metric} histogram")
     base_labels = dict(labels or {})
     buckets = hist_payload.get("buckets", [])

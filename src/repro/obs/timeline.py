@@ -26,6 +26,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional
 #: Track (tid) assignments inside the single exported process.
 SPAN_TID = 1
 EVENT_TID = 2
+#: Fleet tracks (instance lifetimes, per-stack counters) start here.
+FLEET_TID_BASE = 10
 
 _REQUIRED_FIELDS = ("ph", "ts", "pid", "tid")
 
@@ -128,6 +130,122 @@ def event_trace_events(
     return out
 
 
+def fleet_trace_events(
+    records: Iterable[Mapping[str, Any]], pid: int = 1
+) -> List[Dict[str, Any]]:
+    """Trace events for fleet telemetry records.
+
+    ``kind: "fleet.instance"`` spans become one Perfetto track per pool
+    instance — alternating ``busy``/``idle`` complete events, busy spans
+    tagged cold or warm, idle spans named by how they ended, with an
+    instant eviction marker where the LRU cap killed the instance.
+    ``kind: "fleet.epoch"`` records become per-stack ``ph: "C"`` counter
+    series (idle-pool size and cold starts over simulated time).
+
+    Timestamps are simulated seconds (µs on the trace axis), base 0 —
+    fleet records never share a clock with wall-time span records.
+    """
+    instance_records: List[Mapping[str, Any]] = []
+    epoch_records: List[Mapping[str, Any]] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "fleet.instance":
+            instance_records.append(record)
+        elif kind == "fleet.epoch":
+            epoch_records.append(record)
+    if not instance_records and not epoch_records:
+        return []
+    out: List[Dict[str, Any]] = []
+    tids: Dict[Any, int] = {}
+    next_tid = FLEET_TID_BASE
+
+    def tid_for(key: Any, name: str) -> int:
+        nonlocal next_tid
+        if key not in tids:
+            tids[key] = next_tid
+            next_tid += 1
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": name},
+                }
+            )
+        return tids[key]
+
+    spans: List[Dict[str, Any]] = []
+    markers: List[Dict[str, Any]] = []
+    for record in instance_records:
+        stack = record.get("stack", "")
+        uid = record.get("uid", 0)
+        tid = tid_for(
+            ("inst", stack, uid),
+            f"{stack} {record.get('function', '?')}#{uid}",
+        )
+        start_us = float(record.get("start_s", 0.0)) * 1e6
+        end_us = float(record.get("end_s", 0.0)) * 1e6
+        state = record.get("state", "span")
+        outcome = record.get("outcome")
+        name = state if outcome is None else f"{state}·{outcome}"
+        args: Dict[str, Any] = {"stack": stack, "uid": uid}
+        if "cold" in record:
+            args["cold"] = record["cold"]
+            name = "cold start" if record["cold"] else "busy"
+        if outcome is not None:
+            args["outcome"] = outcome
+        spans.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": round(start_us, 3),
+                "dur": round(max(0.0, end_us - start_us), 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if outcome == "evicted":
+            markers.append(
+                {
+                    "name": "evicted",
+                    "ph": "i",
+                    "ts": round(end_us, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {"stack": stack, "uid": uid},
+                }
+            )
+    # Perfetto requires X events monotone by start per track.
+    spans.sort(key=lambda e: (e["tid"], e["ts"]))
+    out.extend(spans)
+    out.extend(markers)
+    counters: List[Dict[str, Any]] = []
+    for record in epoch_records:
+        stack = record.get("stack", "")
+        tid = tid_for(("counters", stack), f"{stack} pool counters")
+        ts_us = float(record.get("end_s", 0.0)) * 1e6
+        counters.append(
+            {
+                "name": f"{stack} pool",
+                "ph": "C",
+                "ts": round(ts_us, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "pool_size": record.get("pool_size", 0),
+                    "cold_starts": record.get("cold_starts", 0),
+                },
+            }
+        )
+    counters.sort(key=lambda e: (e["tid"], e["ts"]))
+    out.extend(counters)
+    return out
+
+
 def trace_events(
     records: Iterable[Mapping[str, Any]], pid: int = 1
 ) -> List[Dict[str, Any]]:
@@ -140,12 +258,15 @@ def trace_events(
     """
     span_forests: List[List[Mapping[str, Any]]] = []
     ring_payloads: List[Mapping[str, Any]] = []
+    fleet_records: List[Mapping[str, Any]] = []
     for record in records:
         kind = record.get("kind")
         if kind == "spans":
             span_forests.append(list(record.get("spans", ())))
         elif kind == "events":
             ring_payloads.append(record)
+        elif kind in ("fleet.instance", "fleet.epoch"):
+            fleet_records.append(record)
     starts = [
         s
         for forest in span_forests
@@ -183,10 +304,17 @@ def trace_events(
             "args": {"name": "hw events"},
         },
     ]
+    # Forests share one track; records may arrive out of chronological
+    # order (a client span appended after the service's job spans), so
+    # sort by start — ties keep the enclosing (longer) span first.
+    span_events: List[Dict[str, Any]] = []
     for forest in span_forests:
-        events.extend(span_trace_events(forest, base=base, pid=pid))
+        span_events.extend(span_trace_events(forest, base=base, pid=pid))
+    span_events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    events.extend(span_events)
     for payload in ring_payloads:
         events.extend(event_trace_events(payload, base=base, pid=pid))
+    events.extend(fleet_trace_events(fleet_records, pid=pid))
     return events
 
 

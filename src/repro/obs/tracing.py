@@ -16,6 +16,7 @@ and the ``repro obs`` CLI) and render as an ASCII tree with
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, List, Optional
 
@@ -163,10 +164,20 @@ NULL_TRACER = NullTracer()
 
 _active = NULL_TRACER
 
+#: Per-thread tracer overrides (service worker threads trace their jobs
+#: independently; see :func:`set_thread_tracer`).
+_thread_local = threading.local()
+
 
 def get_tracer():
-    """The currently active tracer (the null tracer unless installed)."""
-    return _active
+    """The currently active tracer for the calling thread.
+
+    A thread-local tracer installed with :func:`set_thread_tracer` wins;
+    otherwise the process-wide tracer from :func:`set_tracer` (the null
+    tracer unless one is installed).
+    """
+    tracer = getattr(_thread_local, "tracer", None)
+    return _active if tracer is None else tracer
 
 
 def set_tracer(tracer) -> Any:
@@ -177,6 +188,21 @@ def set_tracer(tracer) -> Any:
     global _active
     previous = _active
     _active = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+def set_thread_tracer(tracer) -> Any:
+    """Install ``tracer`` for the *calling thread only*.
+
+    The service's job-queue workers run concurrently over one shared
+    engine; each worker traces its own job into a private tracer without
+    the span forests of concurrent jobs interleaving through the global
+    nesting stack. Returns the thread's previous override (``None`` when
+    the thread was inheriting the process-wide tracer) so callers can
+    restore it; pass ``None`` to fall back to the global tracer again.
+    """
+    previous = getattr(_thread_local, "tracer", None)
+    _thread_local.tracer = tracer
     return previous
 
 

@@ -34,7 +34,7 @@ import re
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.obs.ledger import RunLedger
+from repro.obs.ledger import RunLedger, split_fleet_entries
 
 #: Latest live run must be at least this much slower than the median
 #: before it can flag (percent).
@@ -56,6 +56,11 @@ MIN_SAMPLES = 3
 #: are committed from whatever machine produced the PR, so
 #: cross-machine scatter is part of the series.
 DEFAULT_BENCH_DROP_PCT = 40.0
+
+#: Fleet headline metrics (cold-start p95, stranded GB·s) may worsen by
+#: this much against their scenario's historical median before the
+#: fleet gate flags.
+DEFAULT_FLEET_TREND_PCT = 25.0
 
 _BENCH_PATTERN = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})\.json$")
 
@@ -154,8 +159,9 @@ def check_trend(
     counts ledger lines whose schema the reader did not recognize.
     """
     entries, skipped = ledger.read_classified()
+    run_entries, _ = split_fleet_entries(entries)
     rows = trend_by_key(
-        entries,
+        run_entries,
         threshold_pct=threshold_pct,
         mad_k=mad_k,
         min_samples=min_samples,
@@ -165,10 +171,162 @@ def check_trend(
         "ok": not drifted,
         "threshold_pct": threshold_pct,
         "mad_k": mad_k,
-        "entries": len(entries),
+        "entries": len(run_entries),
         "skipped": skipped,
         "rows": rows,
     }
+
+
+def fleet_trend(
+    entries: Sequence[Mapping[str, Any]],
+    threshold_pct: float = DEFAULT_FLEET_TREND_PCT,
+    min_samples: int = MIN_SAMPLES,
+) -> List[Dict[str, Any]]:
+    """Per-(scenario, stack) drift rows over fleet ledger entries.
+
+    Groups ``kind: "fleet"`` lines by the fingerprint-free ``scenario``
+    digest (so the series survives source changes that shift the fleet
+    content key) and, per stack, compares the latest cold-start p95 and
+    stranded GB·s against the median of the history. Only regressions
+    flag — lower latency and less stranding are good news. A fleet key
+    whose history holds more than one ``metrics_digest`` flags
+    ``digest_drift`` (seeded simulations must be bit-stable).
+    """
+    grouped: Dict[Any, Dict[str, Any]] = {}
+    key_digests: Dict[str, List[str]] = {}
+    for entry in entries:
+        if entry.get("kind") != "fleet":
+            continue
+        digest = entry.get("metrics_digest")
+        fleet_key = entry.get("key")
+        if fleet_key and digest:
+            bucket = key_digests.setdefault(fleet_key, [])
+            if digest not in bucket:
+                bucket.append(digest)
+        scenario = entry.get("scenario")
+        for stack, summary in (entry.get("stacks") or {}).items():
+            group_key = (scenario, stack)
+            group = grouped.get(group_key)
+            if group is None:
+                group = grouped[group_key] = {
+                    "scenario": scenario,
+                    "stack": stack,
+                    "fleet_keys": [],
+                    "cold_p95": [],
+                    "stranded": [],
+                }
+            if fleet_key and fleet_key not in group["fleet_keys"]:
+                group["fleet_keys"].append(fleet_key)
+            p95 = summary.get("cold_start_p95_ms")
+            if isinstance(p95, (int, float)):
+                group["cold_p95"].append(float(p95))
+            gb_s = summary.get("stranded_gb_s")
+            if isinstance(gb_s, (int, float)):
+                group["stranded"].append(float(gb_s))
+
+    def drift(series: List[float]) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "samples": len(series),
+            "median": None,
+            "latest": None,
+            "drift": False,
+        }
+        if len(series) >= max(2, min_samples):
+            history, latest = series[:-1], series[-1]
+            center = median(history)
+            out["median"] = center
+            out["latest"] = latest
+            out["drift"] = latest > center * (
+                1.0 + threshold_pct / 100.0
+            ) and latest > center + 1e-12
+        return out
+
+    rows: List[Dict[str, Any]] = []
+    for group in grouped.values():
+        row: Dict[str, Any] = {
+            "scenario": group["scenario"],
+            "stack": group["stack"],
+            "runs": max(
+                len(group["cold_p95"]), len(group["stranded"])
+            ),
+            "cold_start_p95_ms": drift(group["cold_p95"]),
+            "stranded_gb_s": drift(group["stranded"]),
+            "digest_drift": any(
+                len(key_digests.get(key, [])) > 1
+                for key in group["fleet_keys"]
+            ),
+        }
+        row["drift"] = (
+            row["cold_start_p95_ms"]["drift"]
+            or row["stranded_gb_s"]["drift"]
+            or row["digest_drift"]
+        )
+        rows.append(row)
+    return rows
+
+
+def check_fleet_trend(
+    ledger: RunLedger,
+    threshold_pct: float = DEFAULT_FLEET_TREND_PCT,
+    min_samples: int = MIN_SAMPLES,
+) -> Dict[str, Any]:
+    """Fleet drift gate over the ledger's ``kind: "fleet"`` history.
+
+    ``{"ok": bool, "entries": N, "rows": [...]}`` — ``ok`` is False when
+    any scenario/stack shows cold-start, stranding, or metrics-digest
+    drift. With no fleet lines the gate abstains (``ok`` True, no rows).
+    """
+    entries, _ = ledger.read_classified()
+    _, fleet_entries = split_fleet_entries(entries)
+    rows = fleet_trend(
+        fleet_entries,
+        threshold_pct=threshold_pct,
+        min_samples=min_samples,
+    )
+    drifted = [row for row in rows if row["drift"]]
+    return {
+        "ok": not drifted,
+        "threshold_pct": threshold_pct,
+        "entries": len(fleet_entries),
+        "rows": rows,
+    }
+
+
+def render_fleet_trend(report: Mapping[str, Any]) -> str:
+    """ASCII table of a :func:`check_fleet_trend` report."""
+    rows = report.get("rows", [])
+    if not rows:
+        return "(ledger has no fleet history)"
+    lines = [
+        f"{'scenario':<18} {'stack':<9} {'runs':>5} "
+        f"{'cold p95 med/last':>18} {'GB·s med/last':>16}  status"
+    ]
+
+    def pair(metric: Mapping[str, Any]) -> str:
+        med, latest = metric.get("median"), metric.get("latest")
+        if med is None or latest is None:
+            return "-/-"
+        return f"{med:.2f}/{latest:.2f}"
+
+    for row in rows:
+        cold = row.get("cold_start_p95_ms", {})
+        stranded = row.get("stranded_gb_s", {})
+        if row.get("digest_drift"):
+            status = "DIGEST DRIFT"
+        elif cold.get("drift"):
+            status = "COLD-START DRIFT"
+        elif stranded.get("drift"):
+            status = "STRANDING DRIFT"
+        elif cold.get("median") is None and stranded.get("median") is None:
+            status = "(insufficient history)"
+        else:
+            status = "ok"
+        lines.append(
+            f"{str(row.get('scenario')):<18} {str(row.get('stack')):<9} "
+            f"{row.get('runs', 0):>5} {pair(cold):>18} "
+            f"{pair(stranded):>16}  {status}"
+        )
+    return "\n".join(lines)
 
 
 def bench_history(root: Path) -> List[Dict[str, Any]]:

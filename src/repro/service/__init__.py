@@ -11,6 +11,7 @@ engine (same memo, same result backend, same ledger), and stream back as
 from repro.service.app import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    TRACE_HEADER,
     ExperimentServer,
     ServiceState,
 )
@@ -22,6 +23,7 @@ from repro.service.client import (
     ServiceError,
 )
 from repro.service.jobs import DEFAULT_WORKERS, JOB_STATES, Job, JobQueue
+from repro.service.telemetry import ServiceTelemetry
 from repro.service.wire import (
     WIRE_SCHEMA_VERSION,
     WireError,
@@ -46,6 +48,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceState",
+    "ServiceTelemetry",
+    "TRACE_HEADER",
     "WIRE_SCHEMA_VERSION",
     "WireError",
     "fleet_request_from_wire",

@@ -18,10 +18,18 @@ Endpoints (all JSON unless noted):
 * ``GET /api/v1/jobs/<id>`` — job status and transition history.
 * ``GET /api/v1/jobs/<id>/result`` — 200 with results when done, 202
   while queued/running, 500 when failed.
+* ``GET /api/v1/traces/<trace_id>`` — span record for one trace id.
 * ``GET /api/v1/ledger?last=N`` — the run ledger's newest entries.
 * ``GET /api/v1/workloads`` — registered workload names.
-* ``GET /healthz`` — liveness plus queue/backend summary.
-* ``GET /metrics`` — engine + service counters, Prometheus text.
+* ``GET /healthz`` — liveness plus queue depth and worker liveness
+  (503 when a worker thread has died).
+* ``GET /metrics`` — engine + service counters and job latency
+  histograms, Prometheus text.
+
+Trace propagation: a client sends ``X-Repro-Trace: <id>`` on a
+submission (or lets the server mint one); the id is stamped onto the
+job and every span it produces, so one id follows the request from the
+client's ``client.submit`` span through queue wait and engine phases.
 """
 
 from __future__ import annotations
@@ -30,13 +38,15 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import uuid
 from re import Match, compile as re_compile
 from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.harness.engine import ExperimentEngine
-from repro.obs.metrics import render_prometheus
+from repro.obs.metrics import histogram_lines, prometheus_lines
 from repro.service.jobs import DEFAULT_WORKERS, JobQueue
+from repro.service.telemetry import ServiceTelemetry
 from repro.service.wire import (
     WIRE_SCHEMA_VERSION,
     WireError,
@@ -52,6 +62,10 @@ DEFAULT_PORT = 8023
 _JSON = "application/json"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Trace-context propagation header: the client mints a trace id and
+#: sends it here; the service stamps it onto the job and its spans.
+TRACE_HEADER = "X-Repro-Trace"
+
 #: ``(status, payload, content_type)`` — payload is a dict for JSON
 #: responses or pre-rendered text otherwise.
 Response = Tuple[int, Any, str]
@@ -64,9 +78,17 @@ class ServiceState:
         self,
         engine: ExperimentEngine,
         workers: int = DEFAULT_WORKERS,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         self.engine = engine
-        self.queue = JobQueue(engine, workers=workers)
+        # Always-on (in-memory, bounded): telemetry only observes jobs,
+        # never their payloads, so results are identical either way.
+        self.telemetry = (
+            telemetry if telemetry is not None else ServiceTelemetry()
+        )
+        self.queue = JobQueue(
+            engine, workers=workers, telemetry=self.telemetry
+        )
         self.started_s = time.time()
         self._monotonic_start = time.monotonic()
         self.requests_served = 0
@@ -87,15 +109,26 @@ class ServiceState:
 
 
 def op_health(state: ServiceState) -> Response:
+    """Liveness with teeth: 503 when the worker pool is wedged.
+
+    ``workers_alive < workers`` means at least one drain thread died —
+    queued jobs would wait forever — so the Docker HEALTHCHECK (and any
+    orchestrator probing ``/healthz``) flips unhealthy instead of
+    reporting a green light over a stuck queue.
+    """
     disk = state.engine.disk
+    alive = state.queue.alive_workers()
+    degraded = alive < state.queue.workers
     return (
-        200,
+        503 if degraded else 200,
         {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "schema_version": WIRE_SCHEMA_VERSION,
             "uptime_s": state.uptime_s(),
             "backend": disk.kind if disk is not None else "none",
             "workers": state.queue.workers,
+            "workers_alive": alive,
+            "queue_depth": state.queue.depth(),
             "jobs": state.queue.counts(),
         },
         _JSON,
@@ -103,42 +136,65 @@ def op_health(state: ServiceState) -> Response:
 
 
 def op_metrics(state: ServiceState) -> Response:
-    """Engine + service counters in Prometheus exposition format."""
+    """Engine + service counters and latency histograms, Prometheus
+    exposition format."""
     counts = state.queue.counts()
     service_counters = {
         "service.uptime_seconds": state.uptime_s(),
         "service.http_requests": state.requests_served,
+        "service.queue_depth": state.queue.depth(),
+        "service.workers_alive": state.queue.alive_workers(),
         **{
             f"service.jobs.{job_state}": count
             for job_state, count in counts.items()
         },
+        **state.telemetry.snapshot(),
     }
-    snapshots = [
-        {"labels": {"component": "service"}, "counters": service_counters},
-        {
-            "labels": {"component": "engine"},
+    seen: set = set()
+    lines: List[str] = []
+    lines.extend(
+        prometheus_lines(
+            service_counters,
+            {"component": "service"},
+            seen_types=seen,
+        )
+    )
+    lines.extend(
+        prometheus_lines(
             # Seed the headline counter so the engine series exists (at
             # zero) before the first run — scrapers see a stable shape.
-            "counters": {
-                "engine.requests": 0,
-                **state.engine.stats.snapshot(),
-            },
-        },
-    ]
-    return 200, render_prometheus(snapshots), _PROM
+            {"engine.requests": 0, **state.engine.stats.snapshot()},
+            {"component": "engine"},
+            seen_types=seen,
+        )
+    )
+    for payload in state.telemetry.histogram_payloads():
+        lines.extend(
+            histogram_lines(
+                payload, {"component": "service"}, seen_types=seen
+            )
+        )
+    return 200, "\n".join(lines) + "\n", _PROM
 
 
-def op_submit(state: ServiceState, body: Any, kind: str) -> Response:
+def op_submit(
+    state: ServiceState,
+    body: Any,
+    kind: str,
+    trace_id: Optional[str] = None,
+) -> Response:
     requests = run_requests_from_wire(body)
     if kind == "run" and len(requests) != 1:
         raise WireError("POST /api/v1/runs takes exactly one run")
-    job = state.queue.submit(requests, kind=kind)
+    trace_id = trace_id or uuid.uuid4().hex[:16]
+    job = state.queue.submit(requests, kind=kind, trace_id=trace_id)
     return (
         202,
         {
             "schema_version": WIRE_SCHEMA_VERSION,
             "job_id": job.id,
             "state": job.state,
+            "trace_id": trace_id,
             "status_url": f"/api/v1/jobs/{job.id}",
             "result_url": f"/api/v1/jobs/{job.id}/result",
         },
@@ -146,18 +202,22 @@ def op_submit(state: ServiceState, body: Any, kind: str) -> Response:
     )
 
 
-def op_submit_fleet(state: ServiceState, body: Any) -> Response:
+def op_submit_fleet(
+    state: ServiceState, body: Any, trace_id: Optional[str] = None
+) -> Response:
     """Submit one fleet simulation; the same payload ``repro fleet run``
     and :func:`repro.api.submit_fleet` build, so the job's content key
     matches a direct run of the identical request."""
     fleet = fleet_request_from_wire(body)
-    job = state.queue.submit_fleet(fleet)
+    trace_id = trace_id or uuid.uuid4().hex[:16]
+    job = state.queue.submit_fleet(fleet, trace_id=trace_id)
     return (
         202,
         {
             "schema_version": WIRE_SCHEMA_VERSION,
             "job_id": job.id,
             "state": job.state,
+            "trace_id": trace_id,
             "fleet_key": fleet.content_key(state.engine.cost_model),
             "status_url": f"/api/v1/jobs/{job.id}",
             "result_url": f"/api/v1/jobs/{job.id}/result",
@@ -227,6 +287,16 @@ def op_ledger(state: ServiceState, last: int) -> Response:
     )
 
 
+def op_trace(state: ServiceState, trace_id: str) -> Response:
+    """The stored span record for one trace id (bounded LRU store)."""
+    record = state.telemetry.trace(trace_id)
+    if record is None:
+        return 404, {"error": f"unknown trace {trace_id!r}"}, _JSON
+    payload = dict(record)
+    payload["schema_version"] = WIRE_SCHEMA_VERSION
+    return 200, payload, _JSON
+
+
 def op_workloads(state: ServiceState) -> Response:
     return (
         200,
@@ -240,8 +310,12 @@ def op_workloads(state: ServiceState) -> Response:
 
 # -- router -------------------------------------------------------------------
 
-RouteFn = Callable[[ServiceState, "Match[str]", Dict[str, List[str]], Any],
-                   Response]
+#: Route callbacks take ``(state, match, query, body, trace_id)`` —
+#: the trace id is the ``X-Repro-Trace`` header value, or None.
+RouteFn = Callable[
+    [ServiceState, "Match[str]", Dict[str, List[str]], Any, Optional[str]],
+    Response,
+]
 
 
 def _route(fn: Callable[..., Response]) -> RouteFn:
@@ -250,26 +324,28 @@ def _route(fn: Callable[..., Response]) -> RouteFn:
 
 ROUTES: List[Tuple[str, Any, RouteFn]] = [
     ("GET", re_compile(r"^/healthz$"),
-     _route(lambda state, m, q, b: op_health(state))),
+     _route(lambda state, m, q, b, t: op_health(state))),
     ("GET", re_compile(r"^/metrics$"),
-     _route(lambda state, m, q, b: op_metrics(state))),
+     _route(lambda state, m, q, b, t: op_metrics(state))),
     ("POST", re_compile(r"^/api/v1/runs$"),
-     _route(lambda state, m, q, b: op_submit(state, b, "run"))),
+     _route(lambda state, m, q, b, t: op_submit(state, b, "run", t))),
     ("POST", re_compile(r"^/api/v1/sweeps$"),
-     _route(lambda state, m, q, b: op_submit(state, b, "sweep"))),
+     _route(lambda state, m, q, b, t: op_submit(state, b, "sweep", t))),
     ("POST", re_compile(r"^/api/v1/fleets$"),
-     _route(lambda state, m, q, b: op_submit_fleet(state, b))),
+     _route(lambda state, m, q, b, t: op_submit_fleet(state, b, t))),
     ("GET", re_compile(r"^/api/v1/jobs$"),
-     _route(lambda state, m, q, b: op_jobs(state))),
+     _route(lambda state, m, q, b, t: op_jobs(state))),
     ("GET", re_compile(r"^/api/v1/jobs/(?P<job_id>[0-9a-f]+)$"),
-     _route(lambda state, m, q, b: op_job_status(state, m["job_id"]))),
+     _route(lambda state, m, q, b, t: op_job_status(state, m["job_id"]))),
     ("GET", re_compile(r"^/api/v1/jobs/(?P<job_id>[0-9a-f]+)/result$"),
-     _route(lambda state, m, q, b: op_job_result(state, m["job_id"]))),
+     _route(lambda state, m, q, b, t: op_job_result(state, m["job_id"]))),
+    ("GET", re_compile(r"^/api/v1/traces/(?P<trace_id>[0-9a-fA-F-]+)$"),
+     _route(lambda state, m, q, b, t: op_trace(state, m["trace_id"]))),
     ("GET", re_compile(r"^/api/v1/ledger$"),
-     _route(lambda state, m, q, b: op_ledger(
+     _route(lambda state, m, q, b, t: op_ledger(
          state, int(q.get("last", ["20"])[0])))),
     ("GET", re_compile(r"^/api/v1/workloads$"),
-     _route(lambda state, m, q, b: op_workloads(state))),
+     _route(lambda state, m, q, b, t: op_workloads(state))),
 ]
 
 
@@ -310,9 +386,10 @@ class _Handler(BaseHTTPRequestHandler):
             except ValueError as exc:
                 self._send(400, {"error": str(exc)}, _JSON)
                 return
+            trace_id = self.headers.get(TRACE_HEADER) or None
             try:
                 status, payload, content_type = fn(
-                    self.state, match, query, body
+                    self.state, match, query, body, trace_id
                 )
             except WireError as exc:
                 status, payload, content_type = 400, {
@@ -376,9 +453,17 @@ class ExperimentServer:
         engine: Optional[ExperimentEngine] = None,
         workers: int = DEFAULT_WORKERS,
         log_requests: bool = False,
+        telemetry_path: Optional[Any] = None,
     ) -> None:
+        telemetry = (
+            ServiceTelemetry(path=telemetry_path)
+            if telemetry_path is not None
+            else None
+        )
         self.state = ServiceState(
-            engine or ExperimentEngine(), workers=workers
+            engine or ExperimentEngine(),
+            workers=workers,
+            telemetry=telemetry,
         )
         self._http = ThreadingHTTPServer((host, port), _Handler)
         self._http.daemon_threads = True

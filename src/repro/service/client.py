@@ -25,18 +25,26 @@ import os
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.fleet.metrics import FleetResult
 from repro.fleet.request import FleetRequest
 from repro.harness.engine import RunRequest
 from repro.harness.system import RunResult
-from repro.service.app import DEFAULT_HOST, DEFAULT_PORT
+from repro.obs.tracing import get_tracer
+from repro.service.app import DEFAULT_HOST, DEFAULT_PORT, TRACE_HEADER
 
 #: Environment variable naming the service the default client targets.
 SERVICE_URL_ENV = "REPRO_SERVICE_URL"
 
 DEFAULT_SERVICE_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+#: GET retry defaults: idempotent reads survive transient connection
+#: loss (a restarting service) with capped exponential backoff.
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF_S = 0.1
+MAX_BACKOFF_S = 2.0
 
 
 class ServiceError(RuntimeError):
@@ -58,6 +66,8 @@ class ServiceClient:
         self,
         base_url: Optional[str] = None,
         timeout: float = 30.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
     ) -> None:
         self.base_url = (
             base_url
@@ -65,6 +75,14 @@ class ServiceClient:
             or DEFAULT_SERVICE_URL
         ).rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        #: Trace id of the most recent submission (client- or
+        #: server-minted), for scripting a follow-up ``trace()`` call.
+        self.last_trace_id: Optional[str] = None
+        # Injection seam for tests (connection-failure simulation).
+        self._urlopen = urllib.request.urlopen
+        self._sleep = time.sleep
 
     # -- plumbing --------------------------------------------------------
 
@@ -73,6 +91,7 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Any:
         data = (
             json.dumps(body).encode("utf-8") if body is not None else None
@@ -81,31 +100,43 @@ class ServiceClient:
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                raw = response.read()
-                content_type = response.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as exc:
-            detail = ""
+        # Only idempotent reads retry: re-POSTing a submission after an
+        # ambiguous connection error could enqueue the job twice.
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        for attempt in range(attempts):
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get(
-                    "error", ""
+                with self._urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    raw = response.read()
+                    content_type = response.headers.get(
+                        "Content-Type", ""
+                    )
+                break
+            except urllib.error.HTTPError as exc:
+                detail = ""
+                try:
+                    detail = json.loads(exc.read().decode("utf-8")).get(
+                        "error", ""
+                    )
+                except Exception:  # noqa: BLE001 - best-effort detail
+                    pass
+                raise ServiceError(
+                    f"{method} {path} failed with HTTP {exc.code}"
+                    + (f": {detail}" if detail else ""),
+                    status=exc.code,
                 )
-            except Exception:  # noqa: BLE001 - best-effort detail
-                pass
-            raise ServiceError(
-                f"{method} {path} failed with HTTP {exc.code}"
-                + (f": {detail}" if detail else ""),
-                status=exc.code,
-            )
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            )
+            except urllib.error.URLError as exc:
+                if attempt + 1 >= attempts:
+                    raise ServiceError(
+                        f"cannot reach service at {self.base_url}: "
+                        f"{exc.reason}"
+                    )
+                self._sleep(
+                    min(MAX_BACKOFF_S, self.backoff_s * (2 ** attempt))
+                )
         if content_type.startswith("application/json"):
             return json.loads(raw.decode("utf-8"))
         return raw.decode("utf-8")
@@ -121,8 +152,28 @@ class ServiceClient:
     def workloads(self) -> List[str]:
         return self._request("GET", "/api/v1/workloads")["workloads"]
 
+    def _submit_traced(
+        self, path: str, body: Dict[str, Any], kind: str,
+        trace_id: Optional[str],
+    ) -> str:
+        """POST a submission under a ``client.submit`` span carrying the
+        trace id; the same id goes out in the ``X-Repro-Trace`` header,
+        so the client span and the service's job spans share it."""
+        trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.last_trace_id = trace_id
+        with get_tracer().span(
+            "client.submit", trace_id=trace_id, kind=kind
+        ) as span:
+            payload = self._request(
+                "POST", path, body, headers={TRACE_HEADER: trace_id}
+            )
+            span.set("job_id", payload["job_id"])
+        return payload["job_id"]
+
     def submit(
-        self, request: Union[RunRequest, Dict[str, Any]]
+        self,
+        request: Union[RunRequest, Dict[str, Any]],
+        trace_id: Optional[str] = None,
     ) -> str:
         """Submit one run; returns the job id."""
         body = (
@@ -130,11 +181,12 @@ class ServiceClient:
             if isinstance(request, RunRequest)
             else dict(request)
         )
-        return self._request("POST", "/api/v1/runs", body)["job_id"]
+        return self._submit_traced("/api/v1/runs", body, "run", trace_id)
 
     def submit_sweep(
         self,
         requests: Sequence[Union[RunRequest, Dict[str, Any]]],
+        trace_id: Optional[str] = None,
     ) -> str:
         """Submit a request batch as one sweep job; returns the job id."""
         body = {
@@ -145,10 +197,14 @@ class ServiceClient:
                 for item in requests
             ]
         }
-        return self._request("POST", "/api/v1/sweeps", body)["job_id"]
+        return self._submit_traced(
+            "/api/v1/sweeps", body, "sweep", trace_id
+        )
 
     def submit_fleet(
-        self, request: Union[FleetRequest, Dict[str, Any]]
+        self,
+        request: Union[FleetRequest, Dict[str, Any]],
+        trace_id: Optional[str] = None,
     ) -> str:
         """Submit one fleet simulation; returns the job id."""
         body = (
@@ -156,7 +212,17 @@ class ServiceClient:
             if isinstance(request, FleetRequest)
             else dict(request)
         )
-        return self._request("POST", "/api/v1/fleets", body)["job_id"]
+        return self._submit_traced(
+            "/api/v1/fleets", body, "fleet", trace_id
+        )
+
+    def trace(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """The service's span record for ``trace_id`` (defaults to the
+        last submission's id)."""
+        trace_id = trace_id or self.last_trace_id
+        if not trace_id:
+            raise ServiceError("no trace id: submit something first")
+        return self._request("GET", f"/api/v1/traces/{trace_id}")
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """The job's state, transitions, and provenance."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.service.app import (
+    TRACE_HEADER,
     ServiceState,
     op_health,
     op_job_result,
@@ -32,6 +33,7 @@ from repro.service.app import (
     op_metrics,
     op_submit,
     op_submit_fleet,
+    op_trace,
     op_workloads,
 )
 from repro.service.wire import WireError
@@ -78,27 +80,40 @@ def create_fastapi_app(state: ServiceState) -> Any:
     def metrics() -> Response:
         return _reply(op_metrics(state))
 
+    def _trace_id(request: Request) -> Optional[str]:
+        return request.headers.get(TRACE_HEADER) or None
+
     @app.post("/api/v1/runs")
     async def submit_run(request: Request) -> Response:
-        return _reply(_submit(await request.json(), "run"))
+        return _reply(
+            _submit(await request.json(), "run", _trace_id(request))
+        )
 
     @app.post("/api/v1/sweeps")
     async def submit_sweep(request: Request) -> Response:
-        return _reply(_submit(await request.json(), "sweep"))
+        return _reply(
+            _submit(await request.json(), "sweep", _trace_id(request))
+        )
 
-    def _submit(body: Any, kind: str) -> tuple:
+    def _submit(body: Any, kind: str, trace_id: Optional[str]) -> tuple:
         try:
-            return op_submit(state, body, kind)
+            return op_submit(state, body, kind, trace_id)
         except WireError as exc:
             return 400, {"error": str(exc)}, "application/json"
 
     @app.post("/api/v1/fleets")
     async def submit_fleet(request: Request) -> Response:
         try:
-            result = op_submit_fleet(state, await request.json())
+            result = op_submit_fleet(
+                state, await request.json(), _trace_id(request)
+            )
         except WireError as exc:
             result = 400, {"error": str(exc)}, "application/json"
         return _reply(result)
+
+    @app.get("/api/v1/traces/{trace_id}")
+    def trace(trace_id: str) -> Response:
+        return _reply(op_trace(state, trace_id))
 
     @app.get("/api/v1/jobs")
     def jobs() -> Response:

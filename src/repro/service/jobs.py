@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.fleet.request import FleetRequest
 from repro.fleet.simulate import simulate_fleet
 from repro.harness.engine import ExperimentEngine, RunRequest
+from repro.obs.tracing import Tracer, set_thread_tracer
 from repro.resolve import resolve_workers
 
 #: The job lifecycle; ``done`` and ``failed`` are terminal.
@@ -47,7 +48,16 @@ class Job:
     #: shards are derived inside the fleet simulation).
     fleet: Optional[FleetRequest] = None
     state: str = "queued"
+    #: Trace-context id minted by the client (or server) at submission;
+    #: stamped onto the job's spans so one id links client → HTTP →
+    #: queue → engine in the telemetry exports.
+    trace_id: Optional[str] = None
     submitted_s: float = field(default_factory=time.time)
+    #: ``perf_counter`` at submission — same clock as the engine tracer,
+    #: so the synthesized queue spans share the engine spans' axis.
+    submitted_pc: float = field(
+        default_factory=time.perf_counter, repr=False
+    )
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
     error: Optional[str] = None
@@ -94,6 +104,7 @@ class Job:
             "id": self.id,
             "kind": self.kind,
             "state": self.state,
+            "trace_id": self.trace_id,
             "requests": len(self.requests),
             "workloads": workloads,
             "stacks": stacks,
@@ -116,8 +127,10 @@ class JobQueue:
         self,
         engine: ExperimentEngine,
         workers: int = DEFAULT_WORKERS,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.engine = engine
+        self.telemetry = telemetry
         self.workers = resolve_workers(workers)
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._jobs: Dict[str, Job] = {}
@@ -137,7 +150,10 @@ class JobQueue:
     # -- submission ------------------------------------------------------
 
     def submit(
-        self, requests: Sequence[RunRequest], kind: str = "run"
+        self,
+        requests: Sequence[RunRequest],
+        kind: str = "run",
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Enqueue a request batch; returns the queued :class:`Job`."""
         if not requests:
@@ -149,13 +165,16 @@ class JobQueue:
                 id=uuid.uuid4().hex[:12],
                 kind=kind,
                 requests=list(requests),
+                trace_id=trace_id,
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
         self._queue.put(job)
         return job
 
-    def submit_fleet(self, fleet: FleetRequest) -> Job:
+    def submit_fleet(
+        self, fleet: FleetRequest, trace_id: Optional[str] = None
+    ) -> Job:
         """Enqueue one fleet simulation; returns the queued :class:`Job`."""
         with self._lock:
             if self._shutdown:
@@ -165,6 +184,7 @@ class JobQueue:
                 kind="fleet",
                 requests=[],
                 fleet=fleet,
+                trace_id=trace_id,
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -189,6 +209,14 @@ class JobQueue:
             counts[job.state] += 1
         return counts
 
+    def depth(self) -> int:
+        """Jobs waiting on the queue (approximate, race-tolerant)."""
+        return self._queue.qsize()
+
+    def alive_workers(self) -> int:
+        """Worker threads still draining (the ``/healthz`` liveness)."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
     # -- execution -------------------------------------------------------
 
     def _drain(self) -> None:
@@ -196,27 +224,46 @@ class JobQueue:
             job = self._queue.get()
             if job is None:
                 break
-            job.mark("running")
-            try:
-                if job.fleet is not None:
-                    fleet_result = simulate_fleet(
-                        job.fleet, engine=self.engine
-                    )
-                    job.keys = [
-                        job.fleet.content_key(self.engine.cost_model)
-                    ]
-                    job.results = [fleet_result.to_dict()]
-                else:
-                    results = self.engine.run_many(job.requests)
-                    job.keys = [
-                        request.content_key(self.engine.cost_model)
-                        for request in job.requests
-                    ]
-                    job.results = [result.to_dict() for result in results]
-                job.mark("done")
-            except Exception as exc:  # noqa: BLE001 - per-job isolation
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.mark("failed")
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        # When telemetry is on, the worker traces this job into a
+        # private per-thread tracer: engine code asks get_tracer() on
+        # this thread and lands its spans here, never in the global
+        # tracer another thread (or the test harness) may own.
+        job_tracer: Optional[Tracer] = None
+        previous: Any = None
+        if self.telemetry is not None:
+            job_tracer = Tracer()
+            previous = set_thread_tracer(job_tracer)
+        started_pc = time.perf_counter()
+        job.mark("running")
+        try:
+            if job.fleet is not None:
+                fleet_result = simulate_fleet(
+                    job.fleet, engine=self.engine
+                )
+                job.keys = [
+                    job.fleet.content_key(self.engine.cost_model)
+                ]
+                job.results = [fleet_result.to_dict()]
+            else:
+                results = self.engine.run_many(job.requests)
+                job.keys = [
+                    request.content_key(self.engine.cost_model)
+                    for request in job.requests
+                ]
+                job.results = [result.to_dict() for result in results]
+            job.mark("done")
+        except Exception as exc:  # noqa: BLE001 - per-job isolation
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.mark("failed")
+        finally:
+            if self.telemetry is not None:
+                set_thread_tracer(previous)
+                self.telemetry.observe_job(
+                    job, job_tracer, started_pc, time.perf_counter()
+                )
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs; drain workers (joining when ``wait``)."""

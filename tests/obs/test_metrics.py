@@ -27,12 +27,15 @@ class TestSanitize:
 
 
 class TestPrometheusLines:
-    def test_type_header_labels_and_value(self):
+    def test_help_type_headers_labels_and_value(self):
         lines = prometheus_lines(
             {"cycles.total": 12.0}, {"workload": "html", "stack": "memento"}
         )
-        assert lines[0] == "# TYPE repro_cycles_total gauge"
-        assert lines[1] == (
+        assert lines[0] == (
+            "# HELP repro_cycles_total repro counter cycles.total"
+        )
+        assert lines[1] == "# TYPE repro_cycles_total gauge"
+        assert lines[2] == (
             'repro_cycles_total{stack="memento",workload="html"} 12'
         )
 
@@ -42,10 +45,10 @@ class TestPrometheusLines:
         second = prometheus_lines({"a": 3}, seen_types=seen)
         metrics = [l for l in first if not l.startswith("#")]
         assert metrics == ["repro_a 2", "repro_b 1"]
-        assert not any(l.startswith("# TYPE") for l in second)
+        assert not any(l.startswith("#") for l in second)
 
     def test_label_values_escaped(self):
-        (line,) = prometheus_lines({"x": 1}, {"q": 'say "hi"'})[1:]
+        (line,) = prometheus_lines({"x": 1}, {"q": 'say "hi"'})[2:]
         assert r'q="say \"hi\""' in line
 
 
@@ -65,7 +68,9 @@ def test_write_prometheus(tmp_path):
     out = write_prometheus(
         tmp_path / "m.prom", [{"labels": {}, "counters": {"k": 5}}]
     )
-    assert out.read_text() == "# TYPE repro_k gauge\nrepro_k 5\n"
+    assert out.read_text() == (
+        "# HELP repro_k repro counter k\n# TYPE repro_k gauge\nrepro_k 5\n"
+    )
 
 
 class TestRecords:
@@ -135,7 +140,10 @@ class TestHistogramLines:
         from repro.obs.metrics import histogram_lines
 
         lines = histogram_lines(self.payload())
-        assert lines[0] == "# TYPE repro_op_alloc histogram"
+        assert lines[0] == (
+            "# HELP repro_op_alloc repro log2 histogram op.alloc"
+        )
+        assert lines[1] == "# TYPE repro_op_alloc histogram"
         assert 'repro_op_alloc_bucket{le="3"} 2' in lines
         assert 'repro_op_alloc_bucket{le="63"} 3' in lines
         assert 'repro_op_alloc_bucket{le="1023"} 4' in lines
@@ -158,8 +166,9 @@ class TestHistogramLines:
         seen = set()
         first = histogram_lines(self.payload(), seen_types=seen)
         second = histogram_lines(self.payload(), seen_types=seen)
-        assert first[0].startswith("# TYPE")
-        assert not any(line.startswith("# TYPE") for line in second)
+        assert first[0].startswith("# HELP")
+        assert first[1].startswith("# TYPE")
+        assert not any(line.startswith("#") for line in second)
 
 
 def test_profile_record_wraps_the_payload():

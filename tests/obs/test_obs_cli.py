@@ -386,7 +386,9 @@ class TestProfileCli:
             "obs", "timeline", str(path),
             "--out", str(tmp_path / "trace.json"),
         ]) == 1
-        assert "no span or event records" in capsys.readouterr().err
+        assert (
+            "no span, event, or fleet records" in capsys.readouterr().err
+        )
 
     def trend_ledger(self, tmp_path, elapsed_series):
         ledger = RunLedger(tmp_path / "ledger.jsonl")
