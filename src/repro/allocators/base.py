@@ -90,6 +90,10 @@ class SoftwareAllocator(abc.ABC):
         #: already faulted by earlier invocations, so backing them is
         #: unmetered (C++ functions against a retained jemalloc heap).
         self.warm = False
+        #: Optional ``(core, pages)`` hook charged per warm-prefaulted
+        #: mmap. ``None`` (baseline/memento) keeps warm backing unmetered;
+        #: the snapshot stack installs its per-page restore latency here.
+        self.warm_charge = None
         self.touch = touch or (lambda core, addr, write, cat: None)
         # Pre-specialized header-touch callbacks for the malloc/free fast
         # paths (category and write flag folded in). The harness attaches
@@ -250,8 +254,11 @@ class SoftwareAllocator(abc.ABC):
             core, self.process, length, populate or self.mmap_populate
         )
         if self.warm:
-            for page in range(pages_for(length)):
+            pages = pages_for(length)
+            for page in range(pages):
                 self.kernel.prefault_warm(self.process, base + page * PAGE_SIZE)
+            if self.warm_charge is not None:
+                self.warm_charge(core, pages)
         return base
 
     def _munmap(self, core: "Core", addr: int) -> None:

@@ -21,9 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import stacks as stack_registry
 from repro.audit.invariants import AuditContext, Auditor, Violation
 from repro.harness import vector_kernel
 from repro.harness.system import SimulatedSystem
+from repro.resolve import resolve_stack
 from repro.sim.machine import Machine
 from repro.sim.params import PAGE_SHIFT, PAGE_SIZE
 from repro.workloads.synth import WorkloadSpec, generate_trace
@@ -216,12 +218,15 @@ def _reference_touch_lines(
 
 def build_reference_system(
     spec: WorkloadSpec,
-    memento: bool,
+    stack: Any = False,
     monitor: Optional[BypassSoundnessMonitor] = None,
     **kwargs: Any,
 ) -> SimulatedSystem:
     """A :class:`SimulatedSystem` whose cache and touch paths are the
     naive reference implementations.
+
+    ``stack`` accepts any spelling ``SimulatedSystem`` does: a registry
+    name, a :class:`~repro.stacks.Stack`, or the legacy boolean.
 
     The cache closures are swapped on a pre-built machine *before* system
     construction: the allocator metadata-touch closure captures
@@ -234,7 +239,7 @@ def build_reference_system(
     caches = machine.core.caches
     caches.access_line = _reference_access_line(caches)
     caches.instantiate = _reference_instantiate(caches)
-    system = SimulatedSystem(spec, memento, machine=machine, **kwargs)
+    system = SimulatedSystem(spec, stack, machine=machine, **kwargs)
     system._touch_lines = _reference_touch_lines(system, monitor)
     return system
 
@@ -301,7 +306,7 @@ def _step_event(system: SimulatedSystem, event) -> Optional[int]:
 def run_lockstep(
     events,
     spec: WorkloadSpec,
-    memento: bool,
+    stack: Any = False,
     monitor: Optional[BypassSoundnessMonitor] = None,
     check_every: int = 1,
 ) -> Tuple[Optional[Divergence], Optional[SimulatedSystem]]:
@@ -310,10 +315,16 @@ def run_lockstep(
     Returns ``(divergence, fast_system)``; the divergence is None when
     every probe matched. The fast system comes back with its replay state
     intact (no teardown) so the caller can run invariant checks over it.
+
+    Neither system runs the stack's begin-run/exit hooks: lockstep
+    replays bare events, and the hooks charge the same cycles to both
+    sides anyway, so skipping them on both keeps the probe surface
+    identical for every registered stack.
     """
-    fast = SimulatedSystem(spec, memento)
-    reference = build_reference_system(spec, memento, monitor=monitor)
-    keys = _PROBE_KEYS_MEMENTO if memento else _PROBE_KEYS
+    entry = stack_registry.get_stack(resolve_stack(stack))
+    fast = SimulatedSystem(spec, entry)
+    reference = build_reference_system(spec, entry, monitor=monitor)
+    keys = _PROBE_KEYS_MEMENTO if entry.hardware else _PROBE_KEYS
     check_every = max(1, check_every)
     for index, event in enumerate(events):
         try:
@@ -360,9 +371,9 @@ def run_lockstep(
 # -- prefix minimization ---------------------------------------------------------
 
 
-def _diverges(events, spec: WorkloadSpec, memento: bool) -> bool:
+def _diverges(events, spec: WorkloadSpec, stack: Any) -> bool:
     try:
-        divergence, _system = run_lockstep(events, spec, memento)
+        divergence, _system = run_lockstep(events, spec, stack)
     except Exception:
         return False  # a crashing candidate is not a reproduction
     return divergence is not None
@@ -371,7 +382,7 @@ def _diverges(events, spec: WorkloadSpec, memento: bool) -> bool:
 def minimize_prefix(
     events: List,
     spec: WorkloadSpec,
-    memento: bool,
+    stack: Any = False,
     max_runs: int = 60,
 ) -> List:
     """Greedy event-prefix minimization.
@@ -400,12 +411,12 @@ def minimize_prefix(
             e for e in current if getattr(e, "obj", None) != obj
         ]
         runs += 1
-        if candidate and _diverges(candidate, spec, memento):
+        if candidate and _diverges(candidate, spec, stack):
             current = candidate
     if runs < max_runs and type(current[-1]) is not Compute:
         candidate = [e for e in current if type(e) is not Compute]
         runs += 1
-        if candidate and _diverges(candidate, spec, memento):
+        if candidate and _diverges(candidate, spec, stack):
             current = candidate
     return current
 
@@ -460,27 +471,32 @@ class DiffReport:
 
 
 def _compare_columnar(
-    trace: Trace, spec: WorkloadSpec, memento: bool
+    trace: Trace, spec: WorkloadSpec, stack: Any
 ) -> List[str]:
     """Replay the same trace through the event path, the scalar packed
     columnar path, and (when numpy is installed) the vectorized kernel,
     on fresh fast systems; the final stats must be bit-identical (the
     columnar form and the kernel are encodings, not models)."""
-    stepped = SimulatedSystem(spec, memento)
+    stepped = SimulatedSystem(spec, stack)
+    # The packed legs go through run(), which fires the stack's
+    # begin-run hook (e.g. snapshot's restore charge); the stepped leg
+    # drives the internals by hand and must fire it too, or the totals
+    # diverge on any stack with a nonzero begin-run cost.
+    stepped.stack.begin_run(stepped)
     allocs, frees = stepped._replay_events(trace)
     if trace.category == "function":
         stepped._function_exit()
     stepped_result = stepped._collect(trace, allocs, frees)
 
     legs = [
-        ("columnar", SimulatedSystem(spec, memento, replay_kernel="scalar"))
+        ("columnar", SimulatedSystem(spec, stack, replay_kernel="scalar"))
     ]
     if vector_kernel.numpy_available():
         legs.append(
             (
                 "vectorized",
                 SimulatedSystem(
-                    spec, memento, replay_kernel="vectorized"
+                    spec, stack, replay_kernel="vectorized"
                 ),
             )
         )
@@ -510,13 +526,15 @@ def _compare_columnar(
 
 def run_diff(
     spec: WorkloadSpec,
-    memento: bool,
+    stack: Any = False,
     num_allocs: Optional[int] = None,
     check_every: int = 1,
     minimize: bool = True,
     max_minimize_runs: int = 60,
 ) -> DiffReport:
     """The full differential audit of one workload x stack.
+
+    ``stack`` accepts a registry name, a Stack, or the legacy boolean.
 
     1. Lockstep the fast closures against the naive reference, probing
        the counter surface every ``check_every`` events, with the bypass
@@ -530,16 +548,17 @@ def run_diff(
     spec = spec.resolved()
     if num_allocs is not None:
         spec = replace(spec, num_allocs=num_allocs)
+    entry = stack_registry.get_stack(resolve_stack(stack))
     trace = generate_trace(spec)
     events = list(trace.events)
-    monitor = BypassSoundnessMonitor() if memento else None
+    monitor = BypassSoundnessMonitor() if entry.hardware else None
     report = DiffReport(
         workload=spec.name,
-        stack="memento" if memento else "baseline",
+        stack=entry.name,
         events=len(events),
     )
     divergence, fast = run_lockstep(
-        events, spec, memento, monitor=monitor, check_every=check_every
+        events, spec, entry, monitor=monitor, check_every=check_every
     )
     report.divergence = divergence
     if monitor is not None:
@@ -552,12 +571,12 @@ def run_diff(
         if minimize:
             prefix = events[: divergence.event_index + 1]
             minimized = minimize_prefix(
-                prefix, spec, memento, max_runs=max_minimize_runs
+                prefix, spec, entry, max_runs=max_minimize_runs
             )
             report.minimized_events = len(minimized)
             report.minimized_divergence, _ = run_lockstep(
-                minimized, spec, memento
+                minimized, spec, entry
             )
         return report
-    report.columnar_mismatches = _compare_columnar(trace, spec, memento)
+    report.columnar_mismatches = _compare_columnar(trace, spec, entry)
     return report

@@ -20,7 +20,8 @@ Commands:
   process over the workload registry drives a warm/cold instance pool;
   epoch-sharded profile runs fan out through the engine and reduce into
   cold-start percentiles, a memory-stranding timeline, and fleet DRAM
-  traffic for baseline vs. Memento.
+  traffic for every requested stack (``--stacks
+  baseline,memento,snapshot,reclaim`` races all four).
 * ``characterize`` — regenerate the §2.2 study (Figs. 2-3, Table 1).
 * ``sweep NAME`` — one sensitivity study (populate, multiprocess,
   tuning, fragmentation, coldstart, iso-storage, mallacc, ablation).
@@ -83,6 +84,7 @@ from repro.resolve import (
     resolve_backend,
     resolve_cache_dir,
     resolve_jobs,
+    resolve_stack_list,
     resolve_workers,
 )
 from repro.harness import sweeps
@@ -162,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--cold-start", action="store_true",
         help="include container setup (§6.6)",
+    )
+    run_parser.add_argument(
+        "--stack", default=None, metavar="STACK",
+        help="run only the named stack(s): a registry name, a comma "
+        "list, 'both', or 'all' (default: the baseline-vs-memento "
+        "comparison trio with derived metrics)",
     )
     run_parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -287,7 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run_parser = fleet_sub.add_parser(
         "run",
         help="simulate an invocation fleet (cold starts, stranding, "
-        "DRAM traffic) for baseline vs memento",
+        "DRAM traffic) across the registered memory-management stacks",
     )
     fleet_run_parser.add_argument(
         "--invocations", type=int, default=10_000, metavar="N",
@@ -343,9 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="allocations per invocation trace (default: 2000)",
     )
     fleet_run_parser.add_argument(
-        "--stack", choices=["both", "baseline", "memento"],
-        default="both",
-        help="stacks to simulate (default: both)",
+        "--stack", default=None, metavar="STACK",
+        help="stacks to simulate: a registry name, a comma list, "
+        "'both', or 'all' (default: both)",
+    )
+    fleet_run_parser.add_argument(
+        "--stacks", default=None, metavar="LIST",
+        help="comma-separated stacks to race, e.g. "
+        "baseline,memento,snapshot,reclaim (same as --stack)",
     )
     fleet_run_parser.add_argument(
         "--kernel", choices=list(KERNEL_CHOICES), default=None,
@@ -424,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_KERNEL or auto); the kernel A/B section always measures "
         "both",
     )
+    bench_parser.add_argument(
+        "--stacks", default=None, metavar="LIST",
+        help="stacks to bench: a comma list, 'both', or 'all' "
+        "(default: baseline,memento — keeps BENCH payloads comparable)",
+    )
     bench_parser.set_defaults(handler=cmd_bench)
 
     audit_parser = sub.add_parser(
@@ -440,8 +458,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit every registered workload",
     )
     audit_parser.add_argument(
-        "--stack", choices=["both", "memento", "baseline"], default="both",
-        help="which allocator stack(s) to audit (default: both)",
+        "--stack", default="both", metavar="STACK",
+        help="which stack(s) to audit: a registry name, a comma list, "
+        "'both', or 'all' (default: both)",
     )
     audit_parser.add_argument(
         "--epoch", choices=["event", "interval", "run"],
@@ -690,10 +709,99 @@ def _export_metrics(path: str, results, tracer, ring, profile=None) -> None:
     )
 
 
+def _run_stacks(args: argparse.Namespace, names: List[str]) -> int:
+    """``repro run --stack ...``: replay the named registry stacks,
+    one run per workload x stack, without the comparison trio's derived
+    metrics (those only exist for baseline vs memento)."""
+    if args.trace or args.profile or args.metrics:
+        return _usage_error(
+            "run: --trace/--profile/--metrics only apply to the "
+            "baseline-vs-memento comparison (drop --stack)"
+        )
+    stacks = resolve_stack_list(args.stack)
+    args.jobs = resolve_jobs(args.jobs)
+    auditor = previous_audit = None
+    if args.diff:
+        args.audit = True
+    if args.audit:
+        if args.jobs > 1:
+            print(
+                "repro: --audit runs serially; ignoring --jobs",
+                file=sys.stderr,
+            )
+            args.jobs = 1
+        args.no_cache = True
+        auditor = Auditor(epoch=args.audit_epoch, every=args.audit_every)
+        previous_audit = install_audit(auditor)
+    try:
+        engine = _make_engine(args)
+        specs = (
+            all_workloads()
+            if args.run_all
+            else [get_workload(name) for name in names]
+        )
+        requests = [
+            RunRequest(
+                spec,
+                stack=stack,
+                cold_start=args.cold_start,
+                kernel=args.kernel,
+            )
+            for spec in specs
+            for stack in stacks
+        ]
+        results = engine.run_many(requests)
+    finally:
+        if args.audit:
+            install_audit(previous_audit)
+    rows = [
+        [
+            request.spec.name,
+            request.stack,
+            f"{result.total_cycles:,}",
+            f"{result.seconds:.6f}",
+            f"{result.dram_bytes / 1e6:.2f}",
+        ]
+        for request, result in zip(requests, results)
+    ]
+    print(render_table(
+        ["workload", "stack", "total cycles", "sim seconds", "dram MB"],
+        rows,
+        title=("Cold-started" if args.cold_start else "Warm")
+        + " runs: " + ", ".join(stacks),
+    ))
+    exit_code = 0
+    if auditor is not None:
+        print()
+        print(
+            f"audit: {auditor.checks} checks ({auditor.epoch} epoch), "
+            f"{auditor.total_violations} violations"
+        )
+        for violation in auditor.violations:
+            print(f"  {violation}")
+        if auditor.total_violations:
+            exit_code = 1
+    if args.diff:
+        from repro.audit.oracle import run_diff
+
+        print()
+        for spec in specs:
+            for stack in stacks:
+                report = run_diff(
+                    spec, stack, num_allocs=args.diff_allocs or None
+                )
+                _print_diff_line(report)
+                if not report.ok:
+                    exit_code = 1
+    return exit_code
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     names = list(args.workloads) + list(args.named_workloads)
     if args.run_all == bool(names):
         return _usage_error("run: name workloads or pass --all (not both)")
+    if args.stack is not None:
+        return _run_stacks(args, names)
     args.jobs = resolve_jobs(args.jobs)
     tracer = ring = profile = auditor = None
     previous_tracer = previous_ring = previous_profile = None
@@ -869,11 +977,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
         specs = all_workloads()
     else:
         specs = [get_workload(name) for name in (names or ["html"])]
-    stacks = {
-        "both": (True, False),
-        "memento": (True,),
-        "baseline": (False,),
-    }[args.stack]
+    stacks = resolve_stack_list(args.stack)
     num_allocs = args.num_allocs or None
     findings = 0
     payload = {"legs": [], "num_allocs": num_allocs, "epoch": args.epoch}
@@ -881,12 +985,11 @@ def cmd_audit(args: argparse.Namespace) -> int:
         resolved = spec.resolved()
         if num_allocs is not None:
             resolved = dataclasses.replace(resolved, num_allocs=num_allocs)
-        for memento in stacks:
-            stack = "memento" if memento else "baseline"
+        for stack in stacks:
             auditor = Auditor(epoch=args.epoch, every=args.every)
             previous = install_audit(auditor)
             try:
-                system = SimulatedSystem(resolved, memento)
+                system = SimulatedSystem(resolved, stack)
                 system.run()
             finally:
                 install_audit(previous)
@@ -908,7 +1011,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
                 print(f"  {violation}")
             findings += auditor.total_violations
             if args.diff:
-                report = run_diff(resolved, memento)
+                report = run_diff(resolved, stack)
                 _print_diff_line(report)
                 leg["diff"] = report.to_dict()
                 if not report.ok:
@@ -928,11 +1031,10 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
     import json
 
     args.jobs = resolve_jobs(args.jobs)
-    stacks = {
-        "both": STACKS,
-        "baseline": ("baseline",),
-        "memento": ("memento",),
-    }[args.stack]
+    if args.stacks is not None and args.stack is not None:
+        return _usage_error("fleet run: pass --stack or --stacks, not both")
+    selector = args.stacks if args.stacks is not None else args.stack
+    stacks = resolve_stack_list(selector, default=STACKS)
     request = FleetRequest(
         workloads=tuple(args.workloads or ()),
         mix=args.mix,
@@ -1157,6 +1259,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         workloads=args.workloads or None,
         compare_path=Path(args.compare) if args.compare else None,
         kernel=args.kernel,
+        stacks=args.stacks,
     )
     out = (
         Path(args.out)

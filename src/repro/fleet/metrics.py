@@ -33,9 +33,17 @@ PERCENTILES = (50, 95, 99)
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over an already-sorted sequence."""
+    """Nearest-rank percentile over an already-sorted sequence.
+
+    Raises on an empty sequence: a percentile of nothing is not 0.0,
+    and silently reporting one turned "this stack never went cold"
+    into "this stack has zero-latency cold starts" in the fleet
+    report. Callers with possibly-empty data go through
+    :func:`percentile_summary`, whose empty dict is the explicit
+    no-samples marker.
+    """
     if not sorted_values:
-        return 0.0
+        raise ValueError("percentile of an empty sequence")
     if not 0 < q <= 100:
         raise ValueError("percentile q must be in (0, 100]")
     rank = max(1, -(-len(sorted_values) * q // 100))  # ceil division
@@ -43,7 +51,14 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 
 def percentile_summary(values: List[float]) -> Dict[str, float]:
-    """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values`` (unsorted)."""
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values`` (unsorted).
+
+    An empty input returns ``{}`` — the explicit "no samples" marker.
+    Consumers read percentiles with ``.get`` and render missing
+    values as ``-`` rather than fabricating a 0.0.
+    """
+    if not values:
+        return {}
     ordered = sorted(values)
     return {f"p{q}": percentile(ordered, q) for q in PERCENTILES}
 
@@ -149,6 +164,25 @@ def _fmt_bytes(value: float) -> str:
     return f"{value:,.1f} TiB"
 
 
+def _fmt_pct(summary: Dict[str, float], key: str) -> str:
+    """Percentile cell, ``-`` when the summary has no samples."""
+    value = summary.get(key)
+    return f"{value:>7.2f}" if value is not None else f"{'-':>7}"
+
+
+def _report_stacks(result: FleetResult) -> List[str]:
+    """Stacks to report: registry order first, then unknown extras."""
+    from repro import stacks as stack_registry
+
+    known = [
+        name
+        for name in stack_registry.stack_names()
+        if name in result.stacks
+    ]
+    extras = sorted(set(result.stacks) - set(known))
+    return known + extras
+
+
 def render_fleet_report(result: FleetResult) -> str:
     """Human-readable platform report for one fleet result."""
     lines: List[str] = []
@@ -165,17 +199,20 @@ def render_fleet_report(result: FleetResult) -> str:
     )
     lines.append(header)
     lines.append("-" * len(header))
-    for name in ("baseline", "memento"):
-        metrics = result.stacks.get(name)
-        if metrics is None:
-            continue
+    for name in _report_stacks(result):
+        metrics = result.stacks[name]
         cold = metrics.cold_start_ms
+        lat_p99 = metrics.latency_ms.get("p99")
         lines.append(
             f"{name:<10} {100.0 * metrics.cold_start_rate:>5.1f}% "
-            f"{cold.get('p50', 0.0):>7.2f}/{cold.get('p95', 0.0):>7.2f}/"
-            f"{cold.get('p99', 0.0):>7.2f} "
-            f"{metrics.latency_ms.get('p99', 0.0):>13.2f} "
-            f"{_fmt_bytes(metrics.dram_bytes):>12} "
+            f"{_fmt_pct(cold, 'p50')}/{_fmt_pct(cold, 'p95')}/"
+            f"{_fmt_pct(cold, 'p99')} "
+            + (
+                f"{lat_p99:>13.2f} "
+                if lat_p99 is not None
+                else f"{'-':>13} "
+            )
+            + f"{_fmt_bytes(metrics.dram_bytes):>12} "
             f"{_fmt_bytes(metrics.stranded_byte_seconds):>12}·s"
         )
     if result.comparison:
@@ -191,7 +228,8 @@ def render_fleet_report(result: FleetResult) -> str:
             max(m.stranding_timeline, default=0.0)
             for m in result.stacks.values()
         )
-        for name, metrics in sorted(result.stacks.items()):
+        for name in _report_stacks(result):
+            metrics = result.stacks[name]
             for i, value in enumerate(metrics.stranding_timeline):
                 width = int(40 * value / peak) if peak else 0
                 edge = result.epoch_edges[i] if result.epoch_edges else i

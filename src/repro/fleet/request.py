@@ -42,6 +42,8 @@ FLEET_SCHEMA_VERSION = 1
 
 FLEET_CODEC = codec.VersionedCodec("FleetRequest", FLEET_SCHEMA_VERSION)
 
+#: Default stack pair raced by a fleet request (the paper's two);
+#: any registered stack (see :mod:`repro.stacks`) may be requested.
 STACKS = ("baseline", "memento")
 
 #: Cap on auto-derived epoch count (stranding-timeline resolution).
@@ -121,10 +123,13 @@ class FleetRequest:
             raise ValueError("invocation_allocs must be >= 1")
         if not self.stacks:
             raise ValueError("stacks must name at least one stack")
+        from repro import stacks as stack_registry
+
         for stack in self.stacks:
-            if stack not in STACKS:
+            if stack not in stack_registry.stack_names():
                 raise ValueError(
-                    f"unknown stack {stack!r}; choose from {STACKS}"
+                    f"unknown stack {stack!r}; choose from "
+                    f"{stack_registry.stack_names()}"
                 )
         for name in self.workloads:
             try:

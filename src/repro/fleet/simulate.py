@@ -70,7 +70,7 @@ def fleet_run_requests(
                 for cold in (False, True):
                     shards[(name, stack, cold, variant)] = RunRequest(
                         spec=spec,
-                        memento=(stack == "memento"),
+                        stack=stack,
                         config=req.config,
                         machine_params=req.machine_params,
                         cold_start=cold,
@@ -128,7 +128,15 @@ def simulate_fleet(
         engine_runs=len(ordered),
     )
 
+    from repro import stacks as stack_registry
+
     for stack in req.stacks:
+        # Idle-residency model: the stack decides how much of a warm
+        # instance's footprint stays resident while it idles (baseline/
+        # memento keep everything; snapshot spills to disk; reclaim
+        # returns arena pages to the host pool) — the stranding metric
+        # per stack.
+        stack_entry = stack_registry.get_stack(stack)
         pool = FleetPool(
             keep_alive_s=req.keep_alive_s,
             policy=req.policy,
@@ -169,7 +177,9 @@ def simulate_fleet(
                     t,
                     warm_s=warm.seconds,
                     cold_extra_s=cold_extra,
-                    resident_bytes=float(warm.peak_pages * PAGE_SIZE),
+                    resident_bytes=stack_entry.resident_bytes(
+                        warm.peak_pages * PAGE_SIZE
+                    ),
                 )
                 latencies_ms.append(latency * 1e3)
                 if was_cold:
@@ -245,7 +255,10 @@ def simulate_fleet(
             elapsed_s=time.perf_counter() - started,
             stacks={
                 name: {
-                    "cold_start_p95_ms": m.cold_start_ms.get("p95", 0.0),
+                    # None (not 0.0) when the stack never went cold:
+                    # percentile_summary returns the explicit empty
+                    # marker and the trend gates skip non-numbers.
+                    "cold_start_p95_ms": m.cold_start_ms.get("p95"),
                     "stranded_gb_s": m.stranded_byte_seconds / 1e9,
                     "cold_start_rate": m.cold_start_rate,
                     "evictions": m.evictions,

@@ -52,8 +52,9 @@ from repro.backends import (
     create_backend,
 )
 from repro import codec
+from repro import stacks as stack_registry
 from repro.core.config import MementoConfig
-from repro.resolve import resolve_jobs
+from repro.resolve import resolve_jobs, resolve_stack
 from repro.harness import vector_kernel
 from repro.harness.system import RunResult, SimulatedSystem
 from repro.obs import ledger as obs_ledger
@@ -164,7 +165,11 @@ class RunRequest:
     """
 
     spec: WorkloadSpec
-    memento: bool
+    #: Legacy stack flag, kept as a real field so pre-registry wire
+    #: payloads and content keys keep their exact shape. Normalized in
+    #: ``__post_init__`` to agree with ``stack`` (it mirrors the stack's
+    #: ``hardware`` trait), so equal requests always hash equal.
+    memento: bool = False
     config: MementoConfig = field(default_factory=MementoConfig)
     machine_params: MachineParams = field(default_factory=MachineParams)
     cold_start: bool = False
@@ -183,8 +188,21 @@ class RunRequest:
     #: when numpy is installed, scalar otherwise), resolved where the
     #: run executes, which for pool fan-out is the worker process.
     kernel: Optional[str] = None
+    #: First-class stack name (see :mod:`repro.stacks`). ``None`` means
+    #: unspecified and derives from the legacy ``memento`` flag, so
+    #: ``RunRequest(spec, memento=True)`` and
+    #: ``RunRequest(spec, stack="memento")`` are the same request.
+    stack: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.stack is None:
+            object.__setattr__(
+                self, "stack", stack_registry.coerce(bool(self.memento)).name
+            )
+        else:
+            entry = stack_registry.coerce(resolve_stack(self.stack))
+            object.__setattr__(self, "stack", entry.name)
+            object.__setattr__(self, "memento", entry.hardware)
         if self.allocator is not None and self.allocator not in (
             ALLOCATOR_REGISTRY
         ):
@@ -192,32 +210,49 @@ class RunRequest:
                 f"unknown allocator {self.allocator!r}; "
                 f"choose from {sorted(ALLOCATOR_REGISTRY)}"
             )
-        if self.memento and self.allocator is not None:
-            raise ValueError("allocator overrides apply to the baseline")
+        if (
+            self.allocator is not None
+            and "allocator" not in stack_registry.get_stack(self.stack).knobs
+        ):
+            raise ValueError(
+                f"allocator overrides are not supported by the "
+                f"{self.stack!r} stack"
+            )
+        # mmap_populate is validated where the system is built (the
+        # stack-knob guard in SimulatedSystem): a declarative request
+        # may describe an unsupported combination, but it fails loudly
+        # — naming the stack — the moment it would execute.
         if self.kernel is not None:
             vector_kernel.resolve_choice(self.kernel)
-
-    @property
-    def stack(self) -> str:
-        return "memento" if self.memento else "baseline"
 
     def content_key(self, cost_model: CostModel = DEFAULT_COSTS) -> str:
         """Stable content hash identifying this run's result.
 
         Requests that resolve to the same simulation share a key: a spec
-        before and after profile-default resolution, and baseline runs
-        regardless of the (unused) Memento config, so one baseline
+        before and after profile-default resolution, and software-stack
+        runs regardless of the (unused) Memento config, so one baseline
         serves every ablation point of a config sweep.
+
+        Cache-key compatibility: for the two legacy stacks the hashed
+        body is exactly the pre-registry shape — the ``memento`` boolean
+        field, no ``stack`` key — so requests written before the stack
+        registry existed keep their content keys and ``.repro-cache/``
+        stays warm. Only the new stacks (which never had pre-registry
+        keys) carry the ``stack`` field into the hash.
         """
+        entry = stack_registry.get_stack(self.stack)
         normalized = dataclasses.replace(
             self, spec=self.spec.resolved(), kernel=None
         )
-        if not self.memento:
+        if not entry.hardware:
             normalized = dataclasses.replace(
                 normalized, config=MementoConfig()
             )
+        body = codec.canonical(normalized)
+        if entry.legacy_memento is not None:
+            del body["stack"]
         return codec.content_key(
-            normalized,
+            body,
             schema=SCHEMA_VERSION,
             fingerprints={
                 "source": source_fingerprint(),
@@ -236,7 +271,7 @@ class RunRequest:
                 kwargs["allocator_kwargs"] = dict(self.allocator_kwargs)
         return SimulatedSystem(
             self.spec,
-            self.memento,
+            self.stack,
             machine_params=self.machine_params,
             cost_model=cost_model,
             memento_config=self.config,
@@ -262,7 +297,12 @@ class RunRequest:
         """
         return REQUEST_CODEC.stamp({
             "spec": dataclasses.asdict(self.spec),
+            # Both spellings ride the wire: ``stack`` is the first-class
+            # field, ``memento`` keeps pre-registry readers working (and
+            # legacy payloads carrying only ``memento`` still decode —
+            # see from_dict).
             "memento": self.memento,
+            "stack": self.stack,
             "config": dataclasses.asdict(self.config),
             "machine_params": dataclasses.asdict(self.machine_params),
             "cold_start": self.cold_start,
@@ -288,11 +328,26 @@ class RunRequest:
         silently simulating the wrong thing.
         """
         data = REQUEST_CODEC.open_into(cls, data)
-        if "spec" not in data or "memento" not in data:
-            raise ValueError("RunRequest payload needs spec and memento")
+        if "spec" not in data or (
+            "memento" not in data and "stack" not in data
+        ):
+            raise ValueError(
+                "RunRequest payload needs spec and a stack "
+                "(or the legacy memento flag)"
+            )
+        stack = None if data.get("stack") is None else str(data["stack"])
+        if stack is not None:
+            stack = resolve_stack(stack)
+            hardware = stack_registry.get_stack(stack).hardware
+            if "memento" in data and bool(data["memento"]) != hardware:
+                raise ValueError(
+                    f"RunRequest payload is inconsistent: stack {stack!r} "
+                    f"with memento={bool(data['memento'])!r}"
+                )
         return cls(
             spec=spec_from_dict(data["spec"]),
-            memento=bool(data["memento"]),
+            memento=bool(data.get("memento", False)),
+            stack=stack,
             config=config_from_dict(data.get("config")),
             machine_params=machine_params_from_dict(
                 data.get("machine_params")

@@ -35,6 +35,7 @@ from repro.harness.engine import (
     RunRequest,
     source_fingerprint,
 )
+from repro.resolve import resolve_stack_list
 from repro.harness.experiment import geometric_mean
 from repro.harness.system import SimulatedSystem
 from repro.obs.events import EventRing, install_ring
@@ -52,6 +53,11 @@ DEFAULT_WORKLOADS: Sequence[str] = ("html", "Redis", "deploy")
 DEFAULT_NUM_ALLOCS = 8000
 DEFAULT_REPEATS = 7
 
+#: Stacks every bench payload measures by default: the paper's pair, so
+#: BENCH files stay comparable from PR to PR. ``--stacks`` opts into the
+#: rival stacks (see :mod:`repro.stacks`).
+DEFAULT_STACKS: Sequence[str] = ("baseline", "memento")
+
 SMOKE_NUM_ALLOCS = 500
 SMOKE_REPEATS = 1
 
@@ -61,6 +67,7 @@ def bench_replay(
     num_allocs: int = DEFAULT_NUM_ALLOCS,
     repeats: int = DEFAULT_REPEATS,
     kernel: Optional[str] = None,
+    stacks: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Replay throughput per ``workload/stack`` key.
 
@@ -73,6 +80,7 @@ def bench_replay(
     results: Dict[str, Dict[str, Any]] = {}
     tracer = get_tracer()
     resolved = vector_kernel.resolve_kernel(kernel)
+    stack_names = resolve_stack_list(stacks, default=DEFAULT_STACKS)
     for name in workloads:
         spec = dataclasses.replace(
             get_workload(name).resolved(), num_allocs=num_allocs
@@ -82,25 +90,24 @@ def bench_replay(
         # every timed region.
         trace.columnar().segments()
         events = len(trace.events)
-        for memento in (False, True):
+        for stack in stack_names:
             best = float("inf")
             with tracer.span(
-                "bench.replay", workload=name,
-                stack="memento" if memento else "baseline",
+                "bench.replay", workload=name, stack=stack,
             ):
                 for _ in range(max(1, repeats)):
                     system = SimulatedSystem(
-                        spec, memento=memento, replay_kernel=resolved
+                        spec, stack, replay_kernel=resolved
                     )
                     started = time.perf_counter()
                     system.run(trace)
                     elapsed = time.perf_counter() - started
                     if elapsed < best:
                         best = elapsed
-            key = f"{name}/{'memento' if memento else 'baseline'}"
+            key = f"{name}/{stack}"
             results[key] = {
                 "workload": name,
-                "stack": "memento" if memento else "baseline",
+                "stack": stack,
                 "language": spec.language,
                 "category": spec.category,
                 "num_allocs": num_allocs,
@@ -117,6 +124,7 @@ def bench_kernels(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     num_allocs: int = DEFAULT_NUM_ALLOCS,
     repeats: int = DEFAULT_REPEATS,
+    stacks: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Scalar-vs-vectorized kernel A/B per ``workload/stack`` key.
 
@@ -130,6 +138,7 @@ def bench_kernels(
     """
     have_numpy = vector_kernel.numpy_available()
     kernels = ("scalar", "vectorized") if have_numpy else ("scalar",)
+    stack_names = resolve_stack_list(stacks, default=DEFAULT_STACKS)
     keys: Dict[str, Any] = {}
     speedups = []
     for name in workloads:
@@ -140,19 +149,19 @@ def bench_kernels(
         segments = trace.columnar().segments()
         events = len(trace.events)
         runs = segments.runs()
-        for memento in (False, True):
+        for stack in stack_names:
             best = {kernel: float("inf") for kernel in kernels}
             for _ in range(max(1, repeats)):
                 for kernel in kernels:
                     system = SimulatedSystem(
-                        spec, memento=memento, replay_kernel=kernel
+                        spec, stack, replay_kernel=kernel
                     )
                     started = time.perf_counter()
                     system.run(trace)
                     elapsed = time.perf_counter() - started
                     if elapsed < best[kernel]:
                         best[kernel] = elapsed
-            key = f"{name}/{'memento' if memento else 'baseline'}"
+            key = f"{name}/{stack}"
             row: Dict[str, Any] = {
                 "events": events,
                 "scalar_events_per_sec": events / best["scalar"],
@@ -395,6 +404,7 @@ def run_bench(
     workloads: Optional[Iterable[str]] = None,
     compare_path: Optional[Path] = None,
     kernel: Optional[str] = None,
+    stacks: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Assemble the full benchmark payload (see module docstring)."""
     if smoke:
@@ -404,6 +414,7 @@ def run_bench(
         num_allocs = num_allocs or DEFAULT_NUM_ALLOCS
         repeats = repeats or DEFAULT_REPEATS
     names = tuple(workloads) if workloads else DEFAULT_WORKLOADS
+    stacks = resolve_stack_list(stacks, default=DEFAULT_STACKS)
     payload: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
@@ -418,8 +429,9 @@ def run_bench(
                 "outside the timed region"
             ),
         },
-        "replay": bench_replay(names, num_allocs, repeats, kernel),
-        "kernels": bench_kernels(names, num_allocs, repeats),
+        "stacks": list(stacks),
+        "replay": bench_replay(names, num_allocs, repeats, kernel, stacks),
+        "kernels": bench_kernels(names, num_allocs, repeats, stacks),
     }
     if not smoke:
         payload["engine_cache"] = bench_engine_cache()

@@ -16,6 +16,8 @@ from typing import Any, Dict, Mapping, Optional
 from repro.allocators import ALLOCATOR_BY_LANGUAGE
 from repro.allocators.jemalloc import JemallocAllocator
 from repro.audit import invariants as audit_invariants
+from repro import stacks as stack_registry
+from repro.resolve import resolve_stack
 from repro.obs import profile as obs_profile
 from repro.obs.tracing import get_tracer
 from repro.core.bypass import COUNTER_MAX
@@ -43,8 +45,18 @@ from repro.workloads.trace import (
 
 _PAGE_MASK = PAGE_SIZE - 1
 
-#: Cycle categories making up memory management on each stack.
-BASELINE_MM = ("user_alloc", "user_free", "kernel_page", "walk")
+#: Cycle categories making up memory management on each stack. The
+#: ``restore``/``reclaim_release`` categories are charged only by the
+#: snapshot/reclaim stacks (software paths), so including them leaves
+#: baseline sums untouched.
+BASELINE_MM = (
+    "user_alloc",
+    "user_free",
+    "kernel_page",
+    "walk",
+    "restore",
+    "reclaim_release",
+)
 MEMENTO_MM = (
     "hw_alloc",
     "hw_free",
@@ -151,7 +163,7 @@ class SimulatedSystem:
     def __init__(
         self,
         spec: WorkloadSpec,
-        memento: bool,
+        stack=None,
         machine_params: Optional[MachineParams] = None,
         cost_model: Optional[CostModel] = None,
         memento_config: Optional[MementoConfig] = None,
@@ -163,8 +175,14 @@ class SimulatedSystem:
         kernel: Optional[Kernel] = None,
         page_allocator: Optional[HardwarePageAllocator] = None,
         replay_kernel: Optional[str] = None,
+        memento: Optional[bool] = None,
     ) -> None:
-        """``machine``/``kernel``/``page_allocator`` may be supplied to
+        """``stack`` names a registered memory-management stack (see
+        :mod:`repro.stacks`); the legacy ``memento`` boolean — positional
+        or by keyword — still resolves (``True`` → memento, ``False`` →
+        baseline).
+
+        ``machine``/``kernel``/``page_allocator`` may be supplied to
         co-locate several systems on shared hardware (the multi-process
         study of §6.6); by default each system gets a private stack.
 
@@ -173,7 +191,27 @@ class SimulatedSystem:
         else ``auto``). Both kernels are bit-identical; see
         :mod:`repro.harness.vector_kernel`."""
         self.spec = spec.resolved()
+        if stack is None:
+            stack = bool(memento) if memento is not None else False
+        self.stack = stack_registry.get_stack(resolve_stack(stack))
+        self.stack_name = self.stack.name
+        memento = self.stack.hardware
         self.memento = memento
+        # Knob support is declared per stack (repro.stacks): an
+        # unsupported knob fails loudly naming the offending stack
+        # instead of inheriting another stack's semantics.
+        if mmap_populate and "mmap_populate" not in self.stack.knobs:
+            raise ValueError(
+                f"MAP_POPULATE is not supported by the "
+                f"{self.stack_name!r} stack (supported knobs: "
+                f"{sorted(self.stack.knobs) or 'none'})"
+            )
+        if allocator_cls is not None and "allocator" not in self.stack.knobs:
+            raise ValueError(
+                f"allocator overrides are not supported by the "
+                f"{self.stack_name!r} stack (supported knobs: "
+                f"{sorted(self.stack.knobs) or 'none'})"
+            )
         self.replay_kernel_choice = vector_kernel.resolve_choice(
             replay_kernel
         )
@@ -253,11 +291,15 @@ class SimulatedSystem:
             kwargs["touch"] = self._metadata_touch
             self.allocator = cls(self.kernel, self.process, **kwargs)
             self.allocator.mmap_populate = mmap_populate
-            self.allocator.warm = self.spec.warm_heap
-            self.allocator.large.warm = self.spec.warm_heap
+            # The stack decides whether heap mmaps arrive pre-backed
+            # (baseline: the workload's warm_heap; snapshot: prefetch on
+            # warm restores; reclaim: never) and installs any per-page
+            # charge hooks (snapshot's restore latency).
+            warm = self.stack.allocator_warm(self.spec, cold_start)
+            self.allocator.warm = warm
+            self.allocator.large.warm = warm
+            self.stack.configure_allocator(self, self.allocator)
             self._header_of = None
-        if memento and mmap_populate:
-            raise ValueError("MAP_POPULATE applies to the baseline stack")
         # Built last: the touch closure captures the stack-specific cells
         # (bypass engine on Memento) chosen above.
         self._touch_lines = self._make_touch_lines()
@@ -573,7 +615,7 @@ class SimulatedSystem:
         with tracer.span(
             "system.run",
             workload=self.spec.name,
-            stack="memento" if self.memento else "baseline",
+            stack=self.stack_name,
         ) as run_span:
             if profile is not None:
                 marks.append(("setup", self.core.cycles))
@@ -582,6 +624,9 @@ class SimulatedSystem:
                     trace = generate_trace(self.spec)
             if self.cold_start:
                 self._run_cold_start(trace)
+            # Invocation-entry costs (snapshot restore); a no-op on the
+            # baseline/memento stacks.
+            self.stack.begin_run(self)
             if profile is not None:
                 marks.append(("cold_start", self.core.cycles))
             audit = self._audit
@@ -666,7 +711,7 @@ class SimulatedSystem:
                 phases[name] = delta
         self._profile.finish_run(
             workload=result.name,
-            stack="memento" if self.memento else "baseline",
+            stack=self.stack_name,
             categories={k: int(v) for k, v in result.cycles.items()},
             total_cycles=int(result.total_cycles),
             checkpoint=self._profile_ckpt,
@@ -933,6 +978,9 @@ class SimulatedSystem:
 
     def _function_exit(self) -> None:
         """Function completion: runtimes tear down, the OS batch-frees."""
+        # Invocation-exit costs charged while pages are still live
+        # (reclaim's per-page release); a no-op on baseline/memento.
+        self.stack.function_exit(self)
         if self.memento:
             self.runtime.teardown()
         else:

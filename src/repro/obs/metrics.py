@@ -149,11 +149,13 @@ def run_record(
 
     ``stack`` overrides the derived baseline/memento label (the ablation
     runs — e.g. Memento without bypass — need a distinct label)."""
+    from repro.resolve import resolve_stack
+
     return {
         "kind": "run",
         "workload": result_summary.get("name"),
         "stack": stack
-        or ("memento" if result_summary.get("memento") else "baseline"),
+        or resolve_stack(bool(result_summary.get("memento"))),
         "total_cycles": result_summary.get("total_cycles"),
         "seconds": result_summary.get("seconds"),
         "dram_bytes": result_summary.get("dram_bytes"),

@@ -98,3 +98,60 @@ def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
     if cache_dir is not None:
         return str(cache_dir)
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+def resolve_stack(value: Any) -> str:
+    """Canonical stack name for a name, legacy boolean, or Stack.
+
+    The single home of the old ``"memento" if memento else "baseline"``
+    derivation (previously duplicated across ``harness/system.py`` and
+    ``harness/perfbench.py``). Accepts a registered stack name, the
+    legacy ``memento`` boolean, or a :class:`repro.stacks.Stack`;
+    unknown names raise :class:`UsageError`, which the CLI and service
+    report as ``repro: error:`` + exit 2 / HTTP 400 instead of silently
+    running the baseline.
+    """
+    from repro import stacks
+
+    try:
+        return stacks.coerce(value).name
+    except UsageError:
+        raise
+    except ValueError as exc:
+        raise UsageError(str(exc))
+
+
+def resolve_stack_list(
+    value: Any, default: Optional[tuple] = None
+) -> tuple:
+    """Validated stack-name tuple from CLI-style input.
+
+    Accepts ``None`` (→ ``default``, itself defaulting to every
+    registered stack), a comma-separated string, or a sequence of
+    names/booleans. The aliases ``all`` (every registered stack) and
+    ``both`` (the paper's baseline/memento pair) expand in place.
+    Duplicates collapse, order is preserved, and any unknown name
+    raises :class:`UsageError`.
+    """
+    from repro import stacks
+
+    if default is None:
+        default = stacks.stack_names()
+    if value is None:
+        return tuple(default)
+    if isinstance(value, str):
+        value = [part.strip() for part in value.split(",") if part.strip()]
+    names = []
+    for item in value:
+        if item == "all":
+            expanded = stacks.stack_names()
+        elif item == "both":
+            expanded = ("baseline", "memento")
+        else:
+            expanded = (resolve_stack(item),)
+        for name in expanded:
+            if name not in names:
+                names.append(name)
+    if not names:
+        raise UsageError("no stacks selected")
+    return tuple(names)

@@ -7,8 +7,9 @@ simulations — all built on the one shared codec in :mod:`repro.codec`
 (``schema_version`` stamping, tolerant version-0 readers, newer-version
 and unknown-field rejection). One client-side convenience on top: a run
 submission may name a registered workload
-(``{"workload": "html", "memento": true}``) instead of inlining the full
-spec, optionally with ``spec_overrides`` (e.g. a smaller
+(``{"workload": "html", "stack": "snapshot"}``, or the legacy boolean
+spelling ``{"workload": "html", "memento": true}``) instead of inlining
+the full spec, optionally with ``spec_overrides`` (e.g. a smaller
 ``num_allocs``). Either way the parsed request is the same object the
 in-process API builds, so a submission over HTTP hashes to the same
 content key — and therefore the same cached result — as the same request

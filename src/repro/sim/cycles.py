@@ -94,6 +94,18 @@ class CostModel:
     #: (alloc + clear_page + PTE store) with no per-page trap.
     populate_per_page: int = 170
 
+    # --- rival stacks (repro.stacks) ---
+    #: Per-invocation setup of a REAP-style restore: open the snapshot,
+    #: map the recorded working set (Table-3-scale fixed latency).
+    snapshot_restore_base: int = 2200
+    #: Install one recorded page on restore: a batched read + PTE store,
+    #: cheaper than a demand fault (no trap, no zeroing) but dearer than
+    #: MAP_POPULATE backing (the page's bytes come off the snapshot).
+    snapshot_restore_per_page: int = 480
+    #: Return one arena page to the host pool at function exit
+    #: (Squeezy-style release: an madvise-scale per-page teardown).
+    reclaim_release_per_page: int = 150
+
     # --- Memento hardware ---
     hot_hit: int = 2
     hot_miss_header_fetch: int = 42  # header load from the hierarchy (≈LLC)

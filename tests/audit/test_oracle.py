@@ -30,11 +30,13 @@ def small_spec(num_allocs=200):
 # ------------------------------------------------------------- lockstep
 
 
-@pytest.mark.parametrize("memento", [True, False])
-def test_lockstep_clean_on_real_trace(memento):
+@pytest.mark.parametrize(
+    "stack", ["baseline", "memento", "snapshot", "reclaim"]
+)
+def test_lockstep_clean_on_real_trace(stack):
     spec = small_spec()
     events = list(generate_trace(spec).events)
-    divergence, fast = run_lockstep(events, spec, memento)
+    divergence, fast = run_lockstep(events, spec, stack)
     assert divergence is None
     assert fast is not None  # replay state intact for invariant checks
 
@@ -44,7 +46,7 @@ def test_reference_system_matches_fast_end_state():
     trace = generate_trace(spec)
     fast = oracle.SimulatedSystem(spec, memento=True)
     fast._replay_events(trace)
-    reference = build_reference_system(spec, memento=True)
+    reference = build_reference_system(spec, stack="memento")
     reference._replay_events(trace)
     for key in oracle._PROBE_KEYS_MEMENTO:
         assert fast.machine.stats[key] == reference.machine.stats[key], key
@@ -66,7 +68,7 @@ def test_lockstep_reports_counter_divergence(monkeypatch):
         return values
 
     monkeypatch.setattr(oracle, "_probe", probe)
-    divergence, _fast = run_lockstep(events, spec, memento=True)
+    divergence, _fast = run_lockstep(events, spec, "memento")
     assert divergence is not None
     assert divergence.kind == "counter"
     assert divergence.key == "l1d.hits"
@@ -89,7 +91,7 @@ def test_lockstep_reports_reference_exception(monkeypatch):
         return real_step(system, event)
 
     monkeypatch.setattr(oracle, "_step_event", step)
-    divergence, _fast = run_lockstep(events, spec, memento=True)
+    divergence, _fast = run_lockstep(events, spec, "memento")
     assert divergence is not None
     assert divergence.kind == "exception"
     assert divergence.key == "reference"
@@ -139,7 +141,7 @@ def test_minimize_prefix_drops_innocent_objects(monkeypatch):
         Touch(obj=2),  # the divergent event; obj 2 is the culprit
     ]
 
-    def fake_lockstep(candidate, spec, memento, monitor=None, check_every=1):
+    def fake_lockstep(candidate, spec, stack, monitor=None, check_every=1):
         # The "bug" reproduces whenever object 2's events are present.
         hit = any(getattr(e, "obj", None) == 2 for e in candidate)
         divergence = (
@@ -150,7 +152,7 @@ def test_minimize_prefix_drops_innocent_objects(monkeypatch):
         return divergence, None
 
     monkeypatch.setattr(oracle, "run_lockstep", fake_lockstep)
-    minimized = minimize_prefix(events, small_spec(), memento=True)
+    minimized = minimize_prefix(events, small_spec(), "memento")
     # Objects 1 and 3 and the Compute are innocent; only obj 2 survives.
     assert minimized == [Alloc(obj=2, size=64), Touch(obj=2)]
 
@@ -159,21 +161,23 @@ def test_minimize_prefix_respects_run_budget(monkeypatch):
     events = [Alloc(obj=i, size=64) for i in range(1, 6)] + [Touch(obj=5)]
     calls = {"n": 0}
 
-    def fake_lockstep(candidate, spec, memento, monitor=None, check_every=1):
+    def fake_lockstep(candidate, spec, stack, monitor=None, check_every=1):
         calls["n"] += 1
         return Divergence(0, "counter", "k", 1, 2), None
 
     monkeypatch.setattr(oracle, "run_lockstep", fake_lockstep)
-    minimize_prefix(events, small_spec(), memento=True, max_runs=2)
+    minimize_prefix(events, small_spec(), "memento", max_runs=2)
     assert calls["n"] <= 2
 
 
 # ------------------------------------------------------------- run_diff
 
 
-@pytest.mark.parametrize("memento", [True, False])
-def test_run_diff_clean_leg(memento):
-    report = run_diff(small_spec(), memento, num_allocs=200)
+@pytest.mark.parametrize(
+    "stack", ["baseline", "memento", "snapshot", "reclaim"]
+)
+def test_run_diff_clean_leg(stack):
+    report = run_diff(small_spec(), stack, num_allocs=200)
     assert report.ok
     assert report.divergence is None
     assert report.soundness == []
@@ -181,10 +185,16 @@ def test_run_diff_clean_leg(memento):
     assert report.columnar_mismatches == []
     assert report.minimized_events is None
     assert report.events > 200
-    assert report.stack == ("memento" if memento else "baseline")
+    assert report.stack == stack
     payload = report.to_dict()
     assert payload["workload"] == "html"
     assert payload["divergence"] is None
+
+
+def test_run_diff_accepts_legacy_boolean():
+    report = run_diff(small_spec(), True, num_allocs=120)
+    assert report.stack == "memento"
+    assert report.ok
 
 
 def test_diff_report_ok_flips_on_any_finding():

@@ -109,8 +109,25 @@ class TestSharedDerivation:
             kernel=None,
             config=MementoConfig(),
         )
+        # The hashed body is the pre-stack-registry field list: the
+        # legacy ``memento`` boolean, no ``stack`` key. This is what
+        # keeps .repro-cache/ content keys stable across the registry's
+        # introduction (see RunRequest.content_key).
+        body = {"__type__": "RunRequest"}
+        for name in (
+            "spec",
+            "memento",
+            "config",
+            "machine_params",
+            "cold_start",
+            "mmap_populate",
+            "allocator",
+            "allocator_kwargs",
+            "kernel",
+        ):
+            body[name] = codec.canonical(getattr(normalized, name))
         by_hand = codec.content_key(
-            normalized,
+            body,
             schema=SCHEMA_VERSION,
             fingerprints={
                 "source": source_fingerprint(),

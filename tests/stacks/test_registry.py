@@ -1,0 +1,173 @@
+"""The stack registry contract: every registered stack satisfies the
+identity/knob/hook surface, coercion covers the legacy boolean, and the
+knob guards fail loudly naming the offending stack."""
+
+import dataclasses
+
+import pytest
+
+from repro import stacks
+from repro.harness.system import SimulatedSystem
+from repro.resolve import UsageError, resolve_stack, resolve_stack_list
+from repro.workloads.registry import get_workload
+
+ALL_STACKS = list(stacks.stack_names())
+
+
+def small_spec(**overrides):
+    spec = dataclasses.replace(
+        get_workload("html").resolved(), num_allocs=150
+    )
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+# ------------------------------------------------------------- contract
+
+
+def test_builtin_registration_order():
+    # Wire payloads, reports, and CLI help all lean on this order.
+    assert ALL_STACKS == ["baseline", "memento", "snapshot", "reclaim"]
+
+
+@pytest.mark.parametrize("name", ALL_STACKS)
+def test_contract_surface(name):
+    stack = stacks.get_stack(name)
+    assert stack.name == name
+    assert stack.description
+    assert isinstance(stack.hardware, bool)
+    assert isinstance(stack.knobs, frozenset)
+    assert 0.0 <= stack.resident_fraction <= 1.0
+    assert stack.legacy_memento in (None, True, False)
+    # resident_bytes scales the footprint by the declared fraction.
+    assert stack.resident_bytes(1000.0) == pytest.approx(
+        1000.0 * stack.resident_fraction
+    )
+
+
+def test_legacy_spellings_map_to_paper_stacks():
+    assert stacks.get_stack("baseline").legacy_memento is False
+    assert stacks.get_stack("memento").legacy_memento is True
+    assert stacks.get_stack("snapshot").legacy_memento is None
+    assert stacks.get_stack("reclaim").legacy_memento is None
+    assert stacks.get_stack("memento").hardware is True
+    assert stacks.get_stack("snapshot").hardware is False
+
+
+def test_coerce_accepts_bool_name_and_stack():
+    memento = stacks.get_stack("memento")
+    assert stacks.coerce(True) is memento
+    assert stacks.coerce(False) is stacks.get_stack("baseline")
+    assert stacks.coerce("snapshot") is stacks.get_stack("snapshot")
+    assert stacks.coerce(memento) is memento
+    with pytest.raises(ValueError, match="cannot resolve a stack"):
+        stacks.coerce(3.5)
+
+
+def test_unknown_stack_names_every_choice():
+    with pytest.raises(ValueError, match="unknown stack 'bogus'"):
+        stacks.get_stack("bogus")
+    with pytest.raises(UsageError, match="unknown stack"):
+        resolve_stack("bogus")
+
+
+def test_register_rejects_incomplete_stacks():
+    class NoName(stacks.Stack):
+        pass
+
+    with pytest.raises(ValueError, match="non-empty name"):
+        stacks.register(NoName())
+
+    class ListKnobs(stacks.Stack):
+        name = "listknobs"
+        knobs = ["allocator"]  # type: ignore[assignment]
+
+    with pytest.raises(ValueError, match="frozenset"):
+        stacks.register(ListKnobs())
+
+    class Duplicate(stacks.Stack):
+        name = "baseline"
+        knobs = frozenset()
+
+    with pytest.raises(ValueError, match="already registered"):
+        stacks.register(Duplicate())
+
+
+# ------------------------------------------------------------- resolver
+
+
+def test_resolve_stack_centralizes_boolean_derivation():
+    assert resolve_stack(True) == "memento"
+    assert resolve_stack(False) == "baseline"
+    assert resolve_stack("reclaim") == "reclaim"
+
+
+def test_resolve_stack_list_aliases_and_dedup():
+    assert resolve_stack_list(None) == tuple(ALL_STACKS)
+    assert resolve_stack_list("both") == ("baseline", "memento")
+    assert resolve_stack_list("all") == tuple(ALL_STACKS)
+    assert resolve_stack_list("snapshot, snapshot ,baseline") == (
+        "snapshot",
+        "baseline",
+    )
+    with pytest.raises(UsageError, match="no stacks selected"):
+        resolve_stack_list(",")
+    with pytest.raises(UsageError, match="unknown stack"):
+        resolve_stack_list("baseline,bogus")
+
+
+# ------------------------------------------------------------- behavior
+
+
+@pytest.mark.parametrize("name", ALL_STACKS)
+def test_every_stack_replays_a_workload(name):
+    result = SimulatedSystem(small_spec(), name).run()
+    assert result.total_cycles > 0
+    assert result.memento is stacks.get_stack(name).hardware
+
+
+@pytest.mark.parametrize("name", ALL_STACKS)
+def test_every_stack_is_deterministic(name):
+    first = SimulatedSystem(small_spec(), name).run()
+    second = SimulatedSystem(small_spec(), name).run()
+    assert first.to_dict() == second.to_dict()
+
+
+def test_snapshot_charges_restore_on_warm_runs_only():
+    warm = SimulatedSystem(small_spec(), "snapshot").run()
+    assert warm.cycles.get("restore", 0) > 0
+    cold = SimulatedSystem(
+        small_spec(), "snapshot", cold_start=True
+    ).run()
+    assert cold.cycles.get("restore", 0) == 0
+
+
+def test_reclaim_charges_release_on_function_exit():
+    result = SimulatedSystem(small_spec(), "reclaim").run()
+    assert result.cycles.get("reclaim_release", 0) > 0
+
+
+def test_paper_stacks_carry_no_rival_cost_categories():
+    # Bit-identity guard: baseline/memento totals must not move.
+    for name in ("baseline", "memento"):
+        result = SimulatedSystem(small_spec(), name).run()
+        assert result.cycles.get("restore", 0) == 0
+        assert result.cycles.get("reclaim_release", 0) == 0
+
+
+# ------------------------------------------------------------ knob guards
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in ALL_STACKS if "mmap_populate" not in
+             stacks.get_stack(n).knobs]
+)
+def test_mmap_populate_guard_names_the_stack(name):
+    with pytest.raises(ValueError, match=f"not supported by the {name!r}"):
+        SimulatedSystem(small_spec(), name, mmap_populate=True)
+
+
+def test_allocator_override_guard_names_the_stack():
+    with pytest.raises(ValueError, match="'memento'"):
+        SimulatedSystem(
+            small_spec(), "memento", allocator_cls=object
+        )
